@@ -1,0 +1,49 @@
+//! Formatting-time ablations (§4.2 and §6.3.2 of the paper).
+//!
+//! Two claims get measured:
+//! 1. ELLPACK formatting time is comparable to CSR/COO (the thesis fixed
+//!    this with container-based caching; our builders are linear-time);
+//! 2. the naive BCSR formatter — the algorithm class whose cost the
+//!    thesis reports as ~40 hours — loses to the two-pass scatter build
+//!    by orders of magnitude as block_cols grows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spmm_benches::bench_context;
+use spmm_core::{BcsrMatrix, BellMatrix, Csr5Matrix, CsrMatrix, EllMatrix, HybMatrix, SellMatrix};
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_context();
+    let coo = spmm_matgen::by_name("cant").unwrap().generate(ctx.scale, ctx.seed);
+    let csr = CsrMatrix::from_coo(&coo);
+
+    let mut group = c.benchmark_group("formatting");
+    group.sample_size(10);
+    group.bench_function("csr/cant", |b| {
+        b.iter(|| std::hint::black_box(CsrMatrix::from_coo(&coo)))
+    });
+    group.bench_function("ell/cant", |b| {
+        b.iter(|| std::hint::black_box(EllMatrix::from_csr(&csr)))
+    });
+    group.bench_function("bell/cant", |b| {
+        b.iter(|| std::hint::black_box(BellMatrix::from_csr(&csr, 4).unwrap()))
+    });
+    group.bench_function("csr5/cant", |b| {
+        b.iter(|| std::hint::black_box(Csr5Matrix::from_csr(&csr)))
+    });
+    group.bench_function("sell/cant", |b| {
+        b.iter(|| std::hint::black_box(SellMatrix::from_csr(&csr, 8, 64).unwrap()))
+    });
+    group.bench_function("hyb/cant", |b| {
+        b.iter(|| std::hint::black_box(HybMatrix::from_csr(&csr)))
+    });
+    group.bench_function("bcsr-fast/cant/b4", |b| {
+        b.iter(|| std::hint::black_box(BcsrMatrix::from_csr(&csr, 4).unwrap()))
+    });
+    group.bench_function("bcsr-naive/cant/b4", |b| {
+        b.iter(|| std::hint::black_box(BcsrMatrix::from_csr_naive(&csr, 4).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

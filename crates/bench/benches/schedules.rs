@@ -1,0 +1,40 @@
+//! Schedule ablation: static vs dynamic vs guided on a skewed matrix.
+//!
+//! A design-choice ablation beyond the paper's figures: the paper's
+//! OpenMP kernels use the default (static) schedule; torso1-style skew is
+//! exactly where dynamic/guided scheduling should pay. Criterion measures
+//! the parallel CSR kernel under each schedule on the skewed and on a
+//! regular matrix.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spmm_benches::bench_context;
+use spmm_core::{CsrMatrix, DenseMatrix};
+use spmm_parallel::{global_pool, Schedule};
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_context();
+    let pool = global_pool();
+    let mut group = c.benchmark_group("schedules");
+    group.sample_size(10);
+    for name in ["torso1", "af23560"] {
+        let coo = spmm_matgen::by_name(name).unwrap().generate(ctx.scale, ctx.seed);
+        let csr = CsrMatrix::from_coo(&coo);
+        let b = spmm_matgen::gen::dense_b(coo.cols(), ctx.k, 7);
+        let mut out = DenseMatrix::zeros(coo.rows(), ctx.k);
+        for (label, sched) in [
+            ("static", Schedule::Static),
+            ("dynamic64", Schedule::Dynamic(64)),
+            ("guided", Schedule::Guided(1)),
+        ] {
+            group.bench_function(format!("csr/{name}/{label}"), |bch| {
+                bch.iter(|| {
+                    spmm_kernels::parallel::csr_spmm(pool, 4, sched, &csr, &b, ctx.k, &mut out)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

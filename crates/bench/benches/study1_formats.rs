@@ -1,0 +1,34 @@
+//! Study 1 (Figures 5.1, 5.2): all formats x all backends.
+//!
+//! Prints both architectures' regenerated series and benches the serial
+//! kernel of each format on representative matrices.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spmm_benches::{bench_context, bench_matrices, print_figure};
+use spmm_core::{DenseMatrix, SparseFormat};
+use spmm_harness::studies::{load_suite, study1, Arch};
+use spmm_kernels::FormatData;
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_context();
+    let suite = load_suite(&ctx);
+    print_figure(&study1::study1(&ctx, &Arch::arm(), &suite));
+    print_figure(&study1::study1(&ctx, &Arch::x86(), &suite));
+
+    let mut group = c.benchmark_group("study1/serial");
+    group.sample_size(10);
+    for entry in bench_matrices() {
+        let b = spmm_matgen::gen::dense_b(entry.coo.cols(), ctx.k, 7);
+        for format in SparseFormat::PAPER {
+            let data = FormatData::from_coo(format, &entry.coo, ctx.block).unwrap();
+            let mut out = DenseMatrix::zeros(entry.coo.rows(), ctx.k);
+            group.bench_function(format!("{format}/{}", entry.name), |bch| {
+                bch.iter(|| data.spmm_serial(&b, ctx.k, &mut out))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

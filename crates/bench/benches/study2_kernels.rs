@@ -1,0 +1,44 @@
+//! Study 2 (Figures 5.3, 5.4): best form of each format.
+//!
+//! Prints the best-backend series per architecture and benches the serial
+//! vs parallel forms of CSR head to head on the host.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spmm_benches::{bench_context, bench_matrices, print_figure};
+use spmm_core::{DenseMatrix, SparseFormat};
+use spmm_harness::studies::{load_suite, study1, study2, Arch};
+use spmm_kernels::FormatData;
+use spmm_parallel::{global_pool, Schedule};
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_context();
+    let suite = load_suite(&ctx);
+    for arch in [Arch::arm(), Arch::x86()] {
+        let (s2, winners) = study2::study2(&study1::study1(&ctx, &arch, &suite));
+        print_figure(&s2);
+        println!("winning backend per format ({}):", arch.label);
+        for (fmt, who) in &winners {
+            let first = who.iter().flatten().next().cloned().unwrap_or_default();
+            println!("  {fmt}: e.g. {first}");
+        }
+    }
+
+    let mut group = c.benchmark_group("study2/forms");
+    group.sample_size(10);
+    let pool = global_pool();
+    for entry in bench_matrices() {
+        let b = spmm_matgen::gen::dense_b(entry.coo.cols(), ctx.k, 7);
+        let data = FormatData::from_coo(SparseFormat::Csr, &entry.coo, ctx.block).unwrap();
+        let mut out = DenseMatrix::zeros(entry.coo.rows(), ctx.k);
+        group.bench_function(format!("csr-serial/{}", entry.name), |bch| {
+            bch.iter(|| data.spmm_serial(&b, ctx.k, &mut out))
+        });
+        group.bench_function(format!("csr-parallel/{}", entry.name), |bch| {
+            bch.iter(|| data.spmm_parallel(pool, 4, Schedule::Static, &b, ctx.k, &mut out))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

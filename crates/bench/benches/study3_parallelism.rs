@@ -1,0 +1,44 @@
+//! Study 3 and 3.1 (Figures 5.5-5.8): CPU parallelism and best thread
+//! count.
+//!
+//! Prints the modeled thread-scaling series for both machines and benches
+//! the host parallel CSR kernel across thread counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spmm_benches::{bench_context, bench_matrices, print_figure};
+use spmm_core::{DenseMatrix, SparseFormat};
+use spmm_harness::studies::{load_suite, study3, study3_1, Arch};
+use spmm_kernels::FormatData;
+use spmm_parallel::{global_pool, Schedule};
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_context();
+    let suite = load_suite(&ctx);
+    for arch in [Arch::arm(), Arch::x86()] {
+        print_figure(&study3::study3(&ctx, &arch, &suite));
+        let s31 = study3_1::study3_1(&ctx, &arch, &suite);
+        print_figure(&s31);
+        println!(
+            "matrices best at 72 threads ({}): {:?}",
+            arch.label,
+            study3_1::count_top_thread_wins(&s31)
+        );
+    }
+
+    let mut group = c.benchmark_group("study3/threads");
+    group.sample_size(10);
+    let pool = global_pool();
+    let entry = &bench_matrices()[1]; // cant
+    let b = spmm_matgen::gen::dense_b(entry.coo.cols(), ctx.k, 7);
+    let data = FormatData::from_coo(SparseFormat::Csr, &entry.coo, ctx.block).unwrap();
+    let mut out = DenseMatrix::zeros(entry.coo.rows(), ctx.k);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(format!("csr/{}/t{threads}", entry.name), |bch| {
+            bch.iter(|| data.spmm_parallel(pool, threads, Schedule::Static, &b, ctx.k, &mut out))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

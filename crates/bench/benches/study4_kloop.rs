@@ -1,0 +1,34 @@
+//! Study 4 (Figures 5.9, 5.10): the k-loop sweep.
+//!
+//! Prints the modeled per-k series for both machines and benches the host
+//! serial CSR kernel across the paper's k values.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use spmm_benches::{bench_context, bench_matrices, print_figure};
+use spmm_core::{DenseMatrix, SparseFormat};
+use spmm_harness::studies::{load_suite, study4, Arch};
+use spmm_kernels::FormatData;
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_context();
+    let suite = load_suite(&ctx);
+    print_figure(&study4::study4(&ctx, &Arch::arm(), &suite));
+    print_figure(&study4::study4(&ctx, &Arch::x86(), &suite));
+
+    let mut group = c.benchmark_group("study4/k");
+    group.sample_size(10);
+    let entry = &bench_matrices()[0]; // af23560
+    let data = FormatData::from_coo(SparseFormat::Csr, &entry.coo, ctx.block).unwrap();
+    for k in [8usize, 16, 64, 128, 256] {
+        let b = spmm_matgen::gen::dense_b(entry.coo.cols(), k, 7);
+        let mut out = DenseMatrix::zeros(entry.coo.rows(), k);
+        group.throughput(Throughput::Elements(spmm_kernels::spmm_flops(data.nnz(), k)));
+        group.bench_function(format!("csr/{}/k{k}", entry.name), |bch| {
+            bch.iter(|| data.spmm_serial(&b, k, &mut out))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Study 5 (Figures 5.11, 5.12): BCSR block sizes.
+//!
+//! Prints the per-block-size series for both machines and benches the
+//! host BCSR kernel (formatting and multiply) at block sizes 2/4/16.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spmm_benches::{bench_context, bench_matrices, print_figure};
+use spmm_core::{BcsrMatrix, CsrMatrix, DenseMatrix};
+use spmm_harness::studies::{load_suite, study5, Arch};
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_context();
+    let suite = load_suite(&ctx);
+    print_figure(&study5::study5(&ctx, &Arch::arm(), &suite));
+    print_figure(&study5::study5(&ctx, &Arch::x86(), &suite));
+
+    let mut group = c.benchmark_group("study5/bcsr");
+    group.sample_size(10);
+    let entry = &bench_matrices()[1]; // cant: the FEM/blocky one
+    let csr = CsrMatrix::from_coo(&entry.coo);
+    let b = spmm_matgen::gen::dense_b(entry.coo.cols(), ctx.k, 7);
+    for block in study5::BLOCK_SIZES {
+        group.bench_function(format!("format/{}/b{block}", entry.name), |bch| {
+            bch.iter(|| std::hint::black_box(BcsrMatrix::from_csr(&csr, block).unwrap()))
+        });
+        let bcsr = BcsrMatrix::from_csr(&csr, block).unwrap();
+        let mut out = DenseMatrix::zeros(entry.coo.rows(), ctx.k);
+        group.bench_function(format!("spmm/{}/b{block}", entry.name), |bch| {
+            bch.iter(|| spmm_kernels::serial::bcsr_spmm(&bcsr, &b, ctx.k, &mut out))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

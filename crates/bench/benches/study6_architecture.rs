@@ -1,0 +1,33 @@
+//! Study 6 (Figures 5.13, 5.14): architecture comparison.
+//!
+//! Prints the Arm-vs-x86 serial series (all formats, and BCSR per block
+//! size) and benches the host serial kernels they model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spmm_benches::{bench_context, bench_matrices, print_figure};
+use spmm_core::{DenseMatrix, SparseFormat};
+use spmm_harness::studies::{load_suite, study6};
+use spmm_kernels::FormatData;
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_context();
+    let suite = load_suite(&ctx);
+    print_figure(&study6::study6_formats(&ctx, &suite));
+    print_figure(&study6::study6_bcsr(&ctx, &suite));
+
+    let mut group = c.benchmark_group("study6/serial");
+    group.sample_size(10);
+    let entry = &bench_matrices()[2]; // torso1: the skewed one
+    let b = spmm_matgen::gen::dense_b(entry.coo.cols(), ctx.k, 7);
+    for format in SparseFormat::PAPER {
+        let data = FormatData::from_coo(format, &entry.coo, ctx.block).unwrap();
+        let mut out = DenseMatrix::zeros(entry.coo.rows(), ctx.k);
+        group.bench_function(format!("{format}/{}", entry.name), |bch| {
+            bch.iter(|| data.spmm_serial(&b, ctx.k, &mut out))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

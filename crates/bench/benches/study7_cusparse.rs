@@ -1,0 +1,38 @@
+//! Study 7 (Figures 5.15, 5.16): cuSPARSE vs OpenMP-offload GPU.
+//!
+//! Prints the per-device comparison series and benches the end-to-end
+//! simulator invocations (functional execution + trace + cost model).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spmm_benches::{bench_context, print_figure};
+use spmm_core::{CsrMatrix, DenseMatrix};
+use spmm_gpusim::DeviceProfile;
+use spmm_harness::studies::{study7, Arch};
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_context();
+    print_figure(&study7::study7(&ctx, &Arch::arm()));
+    print_figure(&study7::study7(&ctx, &Arch::x86()));
+
+    let mut group = c.benchmark_group("study7/simulator");
+    group.sample_size(10);
+    let coo = spmm_matgen::by_name("bcsstk17").unwrap().generate(0.1, 42);
+    let csr = CsrMatrix::from_coo(&coo);
+    let k = 32;
+    let b = spmm_matgen::gen::dense_b(coo.cols(), k, 7);
+    let dev = DeviceProfile::h100();
+    let mut out = DenseMatrix::zeros(coo.rows(), k);
+    group.bench_function("csr-offload/bcsstk17", |bch| {
+        bch.iter(|| spmm_gpusim::kernels::csr_spmm_gpu(&dev, &csr, &b, k, &mut out))
+    });
+    group.bench_function("csr-cusparse/bcsstk17", |bch| {
+        bch.iter(|| spmm_gpusim::vendor::cusparse_csr_spmm(&dev, &csr, &b, k, &mut out))
+    });
+    group.bench_function("coo-cusparse/bcsstk17", |bch| {
+        bch.iter(|| spmm_gpusim::vendor::cusparse_coo_spmm(&dev, &coo, &b, k, &mut out))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

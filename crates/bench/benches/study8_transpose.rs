@@ -1,0 +1,45 @@
+//! Study 8 (Figures 5.17, 5.18): transposing B.
+//!
+//! This figure is host-measured, so criterion is the primary instrument:
+//! normal vs transposed-B parallel kernels for each paper format. The
+//! study driver's series (over more matrices) is printed first.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spmm_benches::{bench_context, bench_matrices, print_figure};
+use spmm_core::{DenseMatrix, SparseFormat};
+use spmm_harness::studies::{load_suite, study8};
+use spmm_kernels::FormatData;
+use spmm_parallel::{global_pool, Schedule};
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_context();
+    let suite: Vec<_> = load_suite(&ctx).into_iter().take(6).collect();
+    let s8 = study8::study8(&ctx, "arm", &suite);
+    print_figure(&s8);
+    println!(
+        "transposed-B won >10% on {} of {} cells",
+        study8::transpose_win_count(&s8, 0.10),
+        s8.rows.len() * 4
+    );
+
+    let mut group = c.benchmark_group("study8");
+    group.sample_size(10);
+    let pool = global_pool();
+    let entry = &bench_matrices()[1]; // cant
+    let b = spmm_matgen::gen::dense_b(entry.coo.cols(), ctx.k, 7);
+    let bt = b.transposed();
+    for format in SparseFormat::PAPER {
+        let data = FormatData::from_coo(format, &entry.coo, ctx.block).unwrap();
+        let mut out = DenseMatrix::zeros(entry.coo.rows(), ctx.k);
+        group.bench_function(format!("{format}/normal/{}", entry.name), |bch| {
+            bch.iter(|| data.spmm_parallel(pool, 4, Schedule::Static, &b, ctx.k, &mut out))
+        });
+        group.bench_function(format!("{format}/transposed/{}", entry.name), |bch| {
+            bch.iter(|| data.spmm_parallel_bt(pool, 4, Schedule::Static, &bt, ctx.k, &mut out))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Study 9 (Figure 5.19): manual optimizations (const-K + hoisted loads).
+//!
+//! Host-measured like the paper's: criterion compares the runtime-k
+//! kernels against their const-generic specializations, serial and
+//! parallel. The study driver's series is printed first.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spmm_benches::{bench_context, bench_matrices, print_figure};
+use spmm_core::{DenseMatrix, SparseFormat};
+use spmm_harness::studies::{load_suite, study9};
+use spmm_kernels::FormatData;
+use spmm_parallel::{global_pool, Schedule};
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_context();
+    let suite: Vec<_> = load_suite(&ctx).into_iter().take(5).collect();
+    let s9 = study9::study9(&ctx, &suite);
+    print_figure(&s9);
+    println!("mean improvement of the optimized kernels:");
+    for (label, deltas) in study9::improvement_percent(&s9) {
+        let mean = deltas.iter().sum::<f64>() / deltas.len().max(1) as f64;
+        println!("  {label}: {mean:+.1}%");
+    }
+
+    let k = ctx.k; // 64: has a const instantiation
+    let mut group = c.benchmark_group("study9");
+    group.sample_size(10);
+    let pool = global_pool();
+    let entry = &bench_matrices()[0]; // af23560
+    let b = spmm_matgen::gen::dense_b(entry.coo.cols(), k, 7);
+    for format in SparseFormat::PAPER {
+        let data = FormatData::from_coo(format, &entry.coo, ctx.block).unwrap();
+        let mut out = DenseMatrix::zeros(entry.coo.rows(), k);
+        group.bench_function(format!("{format}/runtime-k/{}", entry.name), |bch| {
+            bch.iter(|| data.spmm_serial(&b, k, &mut out))
+        });
+        group.bench_function(format!("{format}/const-k/{}", entry.name), |bch| {
+            bch.iter(|| assert!(data.spmm_serial_fixed_k(&b, k, &mut out)))
+        });
+    }
+    // Parallel pair for CSR (the kernels the paper re-ran in parallel).
+    let data = FormatData::from_coo(SparseFormat::Csr, &bench_matrices()[0].coo, ctx.block).unwrap();
+    let mut out = DenseMatrix::zeros(bench_matrices()[0].coo.rows(), k);
+    group.bench_function("csr/omp-runtime-k/af23560", |bch| {
+        bch.iter(|| data.spmm_parallel(pool, 4, Schedule::Static, &b, k, &mut out))
+    });
+    group.bench_function("csr/omp-const-k/af23560", |bch| {
+        bch.iter(|| assert!(data.spmm_parallel_fixed_k(pool, 4, Schedule::Static, &b, k, &mut out)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

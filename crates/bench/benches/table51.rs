@@ -1,0 +1,33 @@
+//! Table 5.1: matrix generation and property computation.
+//!
+//! Prints the regenerated property table and benches the per-matrix
+//! generate + properties pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spmm_benches::bench_context;
+use spmm_harness::studies::{load_suite, table51};
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_context();
+    let suite = load_suite(&ctx);
+    let rows = table51::table51(&suite);
+    println!("\n================ Table 5.1 — Properties of Each Matrix ================");
+    print!("{}", table51::render(&rows));
+    println!("=======================================================================");
+
+    let mut group = c.benchmark_group("table51");
+    group.sample_size(10);
+    for name in ["bcsstk13", "cant", "torso1"] {
+        let spec = spmm_matgen::by_name(name).expect("suite matrix");
+        group.bench_function(format!("generate+properties/{name}"), |b| {
+            b.iter(|| {
+                let m = spec.generate(ctx.scale, ctx.seed);
+                std::hint::black_box(m.properties())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

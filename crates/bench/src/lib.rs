@@ -1,0 +1,32 @@
+//! Shared plumbing for the per-figure criterion benches.
+//!
+//! Each bench target does two jobs:
+//! 1. print the regenerated data series of its paper figure (modeled /
+//!    simulated / measured, as appropriate for the study), and
+//! 2. run criterion measurements of the *host-executable* kernels behind
+//!    that figure, so `cargo bench` tracks real regressions.
+
+use spmm_harness::studies::{load_suite, MatrixEntry, StudyContext, StudyResult};
+
+/// Scale used by the benches: big enough to be meaningful, small enough
+/// for a single-core container.
+pub fn bench_context() -> StudyContext {
+    StudyContext { scale: 0.01, seed: 42, k: 64, threads: 32, block: 4 }
+}
+
+/// A reduced matrix set for timed kernels (one regular, one blocky, one
+/// skewed) — the full 14 run in the study drivers, not under criterion.
+pub fn bench_matrices() -> Vec<MatrixEntry> {
+    let ctx = bench_context();
+    load_suite(&ctx)
+        .into_iter()
+        .filter(|m| ["af23560", "cant", "torso1"].contains(&m.name.as_str()))
+        .collect()
+}
+
+/// Print a regenerated figure's series as the paper-style table.
+pub fn print_figure(result: &StudyResult) {
+    println!("\n================ {} — {} ================", result.figure, result.title);
+    print!("{}", result.to_csv());
+    println!("==========================================================");
+}

@@ -1,0 +1,188 @@
+//! Compressed sparse column (CSC): the column-major mirror of CSR.
+
+use crate::{CooMatrix, CsrMatrix, Index, Scalar, SparseFormat, SparseMatrix};
+
+/// A sparse matrix in compressed sparse column format.
+///
+/// CSC is not one of the paper's four studied formats, but related SpMM work
+/// it cites evaluates CSC, and having the column-major mirror makes the
+/// format family complete and lets tests cross-check CSR's transpose logic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix<T, I = usize> {
+    rows: usize,
+    cols: usize,
+    col_ptr: Vec<I>,
+    row_idx: Vec<I>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar, I: Index> CscMatrix<T, I> {
+    /// Compress a COO matrix into CSC via a counting sort over columns.
+    pub fn from_coo(coo: &CooMatrix<T, I>) -> Self {
+        let cols = coo.cols();
+        let nnz = coo.nnz();
+        let mut col_ptr_usize = vec![0usize; cols + 1];
+        for &c in coo.col_indices() {
+            col_ptr_usize[c.as_usize() + 1] += 1;
+        }
+        for j in 0..cols {
+            col_ptr_usize[j + 1] += col_ptr_usize[j];
+        }
+        let mut cursor = col_ptr_usize.clone();
+        let mut row_idx = vec![I::default(); nnz];
+        let mut values = vec![T::ZERO; nnz];
+        for ((&r, &c), &v) in coo
+            .row_indices()
+            .iter()
+            .zip(coo.col_indices())
+            .zip(coo.values())
+        {
+            let slot = cursor[c.as_usize()];
+            row_idx[slot] = r;
+            values[slot] = v;
+            cursor[c.as_usize()] += 1;
+        }
+        CscMatrix {
+            rows: coo.rows(),
+            cols,
+            col_ptr: col_ptr_usize.into_iter().map(I::from_usize).collect(),
+            row_idx,
+            values,
+        }
+    }
+
+    /// Build from a CSR matrix (equivalent to transposing its storage).
+    pub fn from_csr(csr: &CsrMatrix<T, I>) -> Self {
+        let t = csr.transpose();
+        CscMatrix {
+            rows: csr.rows(),
+            cols: csr.cols(),
+            col_ptr: t.row_ptr().to_vec(),
+            row_idx: t.col_idx().to_vec(),
+            values: t.values().to_vec(),
+        }
+    }
+
+    /// Number of stored entries.
+    #[inline(always)]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of rows.
+    #[inline(always)]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline(always)]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Column pointer array (`cols + 1` entries).
+    #[inline(always)]
+    pub fn col_ptr(&self) -> &[I] {
+        &self.col_ptr
+    }
+
+    /// Row index array.
+    #[inline(always)]
+    pub fn row_idx(&self) -> &[I] {
+        &self.row_idx
+    }
+
+    /// Value array.
+    #[inline(always)]
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// The row indices and values of column `j`.
+    #[inline(always)]
+    pub fn col(&self, j: usize) -> (&[I], &[T]) {
+        let lo = self.col_ptr[j].as_usize();
+        let hi = self.col_ptr[j + 1].as_usize();
+        (&self.row_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Convert to CSR.
+    pub fn to_csr(&self) -> CsrMatrix<T, I> {
+        CsrMatrix::from_coo(&self.to_coo().with_index_type().expect("same index width"))
+    }
+}
+
+impl<T: Scalar, I: Index> SparseMatrix<T> for CscMatrix<T, I> {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn cols(&self) -> usize {
+        self.cols
+    }
+
+    fn stored_entries(&self) -> usize {
+        self.nnz()
+    }
+
+    fn format(&self) -> SparseFormat {
+        // CSC is reported alongside CSR; it has no tag of its own in the
+        // paper's format set.
+        SparseFormat::Csr
+    }
+
+    fn to_coo(&self) -> CooMatrix<T, usize> {
+        let mut coo = CooMatrix::new(self.rows, self.cols);
+        for j in 0..self.cols {
+            let (rows, vals) = self.col(j);
+            for (&r, &v) in rows.iter().zip(vals) {
+                coo.push(r.as_usize(), j, v).expect("CSC indices are in bounds");
+            }
+        }
+        coo.sort_and_sum_duplicates();
+        coo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CooMatrix<f64> {
+        CooMatrix::from_triplets(
+            3,
+            4,
+            &[(0, 0, 1.0), (0, 3, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 3, 5.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn from_coo_builds_column_pointers() {
+        let csc = CscMatrix::from_coo(&sample());
+        let ptr: Vec<usize> = csc.col_ptr().iter().map(|&p| p.as_usize()).collect();
+        assert_eq!(ptr, vec![0, 2, 3, 3, 5]);
+        let (rows, vals) = csc.col(3);
+        assert_eq!(rows.iter().map(|r| r.as_usize()).collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(vals, &[2.0, 5.0]);
+    }
+
+    #[test]
+    fn roundtrips_through_coo_and_csr() {
+        let coo = sample();
+        let csc = CscMatrix::from_coo(&coo);
+        assert_eq!(csc.to_coo(), coo.to_coo());
+        assert_eq!(csc.to_csr().to_dense(), coo.to_dense());
+
+        let csr = CsrMatrix::from_coo(&coo);
+        let via_csr = CscMatrix::from_csr(&csr);
+        assert_eq!(via_csr, csc);
+    }
+
+    #[test]
+    fn dense_agrees() {
+        let coo = sample();
+        assert_eq!(CscMatrix::from_coo(&coo).to_dense(), coo.to_dense());
+    }
+}

@@ -1,0 +1,314 @@
+//! CSR5-style tiled format (simplified).
+//!
+//! CSR5 (Liu & Vinter, 2015 — the paper's §6.3.1 future-work format)
+//! partitions the *nonzero array* rather than the rows, so load balance is
+//! perfect even for matrices with one enormous row. This implementation
+//! keeps that essential idea in a simplified layout: the CSR entry stream is
+//! cut into fixed-size tiles, and each tile carries a precomputed segment
+//! table (`(row, start)` pairs) so a worker can process its tile without
+//! scanning `row_ptr`. Rows that straddle tile boundaries are combined with
+//! a carry fix-up pass, mirroring CSR5's segmented-sum calibration step.
+
+use crate::{CooMatrix, CsrMatrix, Index, Scalar, SparseError, SparseFormat, SparseMatrix};
+
+/// One tile's view of a [`Csr5Matrix`]: the entry range plus its segments.
+#[derive(Debug, Clone, Copy)]
+pub struct Csr5Tile<'a, T, I> {
+    /// Entry range start (inclusive) in the global entry stream.
+    pub entry_lo: usize,
+    /// Entry range end (exclusive).
+    pub entry_hi: usize,
+    /// Column index of each entry in the tile.
+    pub col_idx: &'a [I],
+    /// Value of each entry in the tile.
+    pub values: &'a [T],
+    /// `(row, absolute entry offset)` of each segment in the tile, in order.
+    pub segments: &'a [(I, I)],
+}
+
+/// A sparse matrix in simplified CSR5 layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr5Matrix<T, I = usize> {
+    rows: usize,
+    cols: usize,
+    tile_size: usize,
+    /// Retained CSR row pointer (used for conversion and properties).
+    row_ptr: Vec<I>,
+    col_idx: Vec<I>,
+    values: Vec<T>,
+    /// Per-tile pointer into `segments` (`ntiles + 1` entries).
+    seg_ptr: Vec<usize>,
+    /// Flattened `(row, absolute entry start)` segment table.
+    segments: Vec<(I, I)>,
+}
+
+/// Default entries per tile: matches CSR5's sigma×omega order of magnitude.
+pub const DEFAULT_TILE_SIZE: usize = 256;
+
+impl<T: Scalar, I: Index> Csr5Matrix<T, I> {
+    /// Build from CSR with the default tile size.
+    pub fn from_csr(csr: &CsrMatrix<T, I>) -> Self {
+        Self::from_csr_with_tile(csr, DEFAULT_TILE_SIZE).expect("default tile size is nonzero")
+    }
+
+    /// Build from CSR with an explicit tile size (entries per tile).
+    pub fn from_csr_with_tile(csr: &CsrMatrix<T, I>, tile_size: usize) -> Result<Self, SparseError> {
+        if tile_size == 0 {
+            return Err(SparseError::Parse("CSR5 tile size must be nonzero".into()));
+        }
+        let nnz = csr.nnz();
+        let ntiles = nnz.div_ceil(tile_size);
+        let row_ptr = csr.row_ptr().to_vec();
+
+        let mut seg_ptr = Vec::with_capacity(ntiles + 1);
+        let mut segments: Vec<(I, I)> = Vec::new();
+        seg_ptr.push(0);
+
+        // Walk rows and tiles together; `row` tracks the row containing the
+        // current entry. Empty rows never produce segments.
+        let mut row = 0usize;
+        for t in 0..ntiles {
+            let lo = t * tile_size;
+            let hi = ((t + 1) * tile_size).min(nnz);
+            // Advance to the row containing entry `lo`.
+            while row + 1 < row_ptr.len() - 1 && row_ptr[row + 1].as_usize() <= lo {
+                row += 1;
+            }
+            // First segment: the (possibly partial) row at the tile start.
+            let mut seg_row = row;
+            let mut seg_start = lo;
+            loop {
+                segments.push((I::from_usize(seg_row), I::from_usize(seg_start)));
+                // Where does this row end?
+                let row_end = row_ptr[seg_row + 1].as_usize();
+                if row_end >= hi {
+                    break;
+                }
+                // Skip empty rows between segments.
+                seg_start = row_end;
+                seg_row += 1;
+                while row_ptr[seg_row + 1].as_usize() == seg_start {
+                    seg_row += 1;
+                }
+            }
+            seg_ptr.push(segments.len());
+        }
+
+        Ok(Csr5Matrix {
+            rows: csr.rows(),
+            cols: csr.cols(),
+            tile_size,
+            row_ptr,
+            col_idx: csr.col_idx().to_vec(),
+            values: csr.values().to_vec(),
+            seg_ptr,
+            segments,
+        })
+    }
+
+    /// Build from COO with the default tile size.
+    pub fn from_coo(coo: &CooMatrix<T, I>) -> Self {
+        Self::from_csr(&CsrMatrix::from_coo(coo))
+    }
+
+    /// Number of rows.
+    #[inline(always)]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline(always)]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Entries per tile.
+    #[inline(always)]
+    pub fn tile_size(&self) -> usize {
+        self.tile_size
+    }
+
+    /// Number of tiles.
+    #[inline(always)]
+    pub fn ntiles(&self) -> usize {
+        self.seg_ptr.len() - 1
+    }
+
+    /// Number of stored entries.
+    #[inline(always)]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Retained CSR row pointer.
+    #[inline(always)]
+    pub fn row_ptr(&self) -> &[I] {
+        &self.row_ptr
+    }
+
+    /// Column index array (CSR entry order).
+    #[inline(always)]
+    pub fn col_idx(&self) -> &[I] {
+        &self.col_idx
+    }
+
+    /// Value array (CSR entry order).
+    #[inline(always)]
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Tile `t` with its segment table.
+    pub fn tile(&self, t: usize) -> Csr5Tile<'_, T, I> {
+        let entry_lo = t * self.tile_size;
+        let entry_hi = ((t + 1) * self.tile_size).min(self.nnz());
+        Csr5Tile {
+            entry_lo,
+            entry_hi,
+            col_idx: &self.col_idx[entry_lo..entry_hi],
+            values: &self.values[entry_lo..entry_hi],
+            segments: &self.segments[self.seg_ptr[t]..self.seg_ptr[t + 1]],
+        }
+    }
+
+    /// `true` if tile `t`'s first segment continues a row begun in an
+    /// earlier tile (and therefore needs carry accumulation).
+    pub fn tile_starts_mid_row(&self, t: usize) -> bool {
+        let tile = self.tile(t);
+        match tile.segments.first() {
+            Some(&(row, start)) => {
+                start.as_usize() == tile.entry_lo
+                    && self.row_ptr[row.as_usize()].as_usize() < tile.entry_lo
+            }
+            None => false,
+        }
+    }
+}
+
+impl<T: Scalar, I: Index> SparseMatrix<T> for Csr5Matrix<T, I> {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn cols(&self) -> usize {
+        self.cols
+    }
+
+    fn stored_entries(&self) -> usize {
+        self.nnz()
+    }
+
+    fn format(&self) -> SparseFormat {
+        SparseFormat::Csr5
+    }
+
+    fn to_coo(&self) -> CooMatrix<T, usize> {
+        let mut coo = CooMatrix::new(self.rows, self.cols);
+        for i in 0..self.rows {
+            let lo = self.row_ptr[i].as_usize();
+            let hi = self.row_ptr[i + 1].as_usize();
+            for e in lo..hi {
+                coo.push(i, self.col_idx[e].as_usize(), self.values[e])
+                    .expect("CSR5 indices are in bounds");
+            }
+        }
+        coo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 6x6 with a long row 2 so tiles straddle rows at tile_size 4.
+    fn sample() -> CooMatrix<f64> {
+        CooMatrix::from_triplets(
+            6,
+            6,
+            &[
+                (0, 0, 1.0),
+                (0, 1, 2.0),
+                (2, 0, 3.0),
+                (2, 1, 4.0),
+                (2, 2, 5.0),
+                (2, 3, 6.0),
+                (2, 4, 7.0),
+                (2, 5, 8.0),
+                (4, 4, 9.0),
+                (5, 5, 10.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tiles_partition_all_entries() {
+        let m = Csr5Matrix::from_csr_with_tile(&CsrMatrix::from_coo(&sample()), 4).unwrap();
+        assert_eq!(m.ntiles(), 3);
+        let mut covered = 0;
+        for t in 0..m.ntiles() {
+            let tile = m.tile(t);
+            assert_eq!(tile.entry_hi - tile.entry_lo, tile.values.len());
+            covered += tile.values.len();
+        }
+        assert_eq!(covered, m.nnz());
+    }
+
+    #[test]
+    fn segments_describe_rows_exactly() {
+        let m = Csr5Matrix::from_csr_with_tile(&CsrMatrix::from_coo(&sample()), 4).unwrap();
+        // Tile 0: entries 0..4 = row 0 (2 entries) + row 2 (first 2 entries).
+        let t0 = m.tile(0);
+        let segs: Vec<(usize, usize)> = t0
+            .segments
+            .iter()
+            .map(|&(r, s)| (r.as_usize(), s.as_usize()))
+            .collect();
+        assert_eq!(segs, vec![(0, 0), (2, 2)]);
+        assert!(!m.tile_starts_mid_row(0));
+        // Tile 1: entries 4..8, all inside row 2, which began in tile 0.
+        let t1 = m.tile(1);
+        let segs: Vec<(usize, usize)> = t1
+            .segments
+            .iter()
+            .map(|&(r, s)| (r.as_usize(), s.as_usize()))
+            .collect();
+        assert_eq!(segs, vec![(2, 4)]);
+        assert!(m.tile_starts_mid_row(1));
+        // Tile 2: entries 8..10 = rows 4 and 5.
+        assert!(!m.tile_starts_mid_row(2));
+    }
+
+    #[test]
+    fn roundtrip_through_coo() {
+        let coo = sample();
+        let m = Csr5Matrix::from_coo(&coo);
+        assert_eq!(m.to_coo(), coo.to_coo());
+        assert_eq!(m.to_dense(), coo.to_dense());
+    }
+
+    #[test]
+    fn various_tile_sizes_roundtrip() {
+        let coo = sample();
+        let csr = CsrMatrix::from_coo(&coo);
+        for ts in [1, 2, 3, 5, 7, 100] {
+            let m = Csr5Matrix::from_csr_with_tile(&csr, ts).unwrap();
+            assert_eq!(m.to_dense(), coo.to_dense(), "tile size {ts}");
+        }
+    }
+
+    #[test]
+    fn zero_tile_size_rejected() {
+        let csr = CsrMatrix::from_coo(&sample());
+        assert!(Csr5Matrix::from_csr_with_tile(&csr, 0).is_err());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let coo = CooMatrix::<f64>::new(3, 3);
+        let m = Csr5Matrix::from_coo(&coo);
+        assert_eq!(m.ntiles(), 0);
+        assert_eq!(m.nnz(), 0);
+    }
+}

@@ -1,0 +1,209 @@
+//! Row-major dense matrices (operand B and result C of SpMM).
+
+use crate::{Scalar, SparseError};
+
+/// A row-major dense matrix.
+///
+/// The suite generates B densely and multiplies it by the formatted sparse
+/// A; C is also dense. Row-major storage means kernel inner loops walk
+/// `b.row(col_of_nonzero)` linearly — the access pattern the paper's
+/// transpose study (Study 8) contrasts with column-major access.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> DenseMatrix<T> {
+    /// An all-zeros `rows × cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix { rows, cols, data: vec![T::ZERO; rows * cols] }
+    }
+
+    /// Build from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        DenseMatrix { rows, cols, data }
+    }
+
+    /// Wrap an existing row-major buffer.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Result<Self, SparseError> {
+        if data.len() != rows * cols {
+            return Err(SparseError::ShapeMismatch {
+                detail: format!(
+                    "buffer of {} values cannot back a {rows}x{cols} matrix",
+                    data.len()
+                ),
+            });
+        }
+        Ok(DenseMatrix { rows, cols, data })
+    }
+
+    /// Number of rows.
+    #[inline(always)]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline(always)]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The element at `(i, j)`.
+    #[inline(always)]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Overwrite the element at `(i, j)`.
+    #[inline(always)]
+    pub fn set(&mut self, i: usize, j: usize, v: T) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Row `i` as a contiguous slice.
+    #[inline(always)]
+    pub fn row(&self, i: usize) -> &[T] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Row `i` as a mutable contiguous slice.
+    #[inline(always)]
+    pub fn row_mut(&mut self, i: usize) -> &mut [T] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// The whole backing buffer, row-major.
+    #[inline(always)]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// The whole backing buffer, mutable.
+    #[inline(always)]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Reset every element to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.fill(T::ZERO);
+    }
+
+    /// An owned transpose (`cols × rows`).
+    ///
+    /// This is the explicit pre-pass of the paper's Study 8: transposing B
+    /// so the multiply can read what were B's columns as rows.
+    pub fn transposed(&self) -> DenseMatrix<T> {
+        let mut out = DenseMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            let src = self.row(i);
+            for (j, &v) in src.iter().enumerate() {
+                out.data[j * self.rows + i] = v;
+            }
+        }
+        out
+    }
+
+    /// Frobenius-style elementwise maximum absolute difference.
+    pub fn max_abs_diff(&self, other: &DenseMatrix<T>) -> f64 {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "max_abs_diff requires equal shapes"
+        );
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| (a.to_f64() - b.to_f64()).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Iterate over `(row, col, value)` of every element.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, T)> + '_ {
+        let cols = self.cols;
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(idx, &v)| (idx / cols, idx % cols, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let m = DenseMatrix::<f64>::zeros(3, 4);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_fn_layout_is_row_major() {
+        let m = DenseMatrix::from_fn(2, 3, |i, j| (i * 10 + j) as f64);
+        assert_eq!(m.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+        assert_eq!(m.get(1, 2), 12.0);
+        assert_eq!(m.row(1), &[10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(DenseMatrix::from_vec(2, 2, vec![1.0f32; 3]).is_err());
+        assert!(DenseMatrix::from_vec(2, 2, vec![1.0f32; 4]).is_ok());
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut m = DenseMatrix::<f32>::zeros(2, 2);
+        m.set(1, 0, 7.0);
+        assert_eq!(m.get(1, 0), 7.0);
+        m.clear();
+        assert_eq!(m.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let m = DenseMatrix::from_fn(3, 5, |i, j| (i * 100 + j) as f64);
+        let t = m.transposed();
+        assert_eq!(t.rows(), 5);
+        assert_eq!(t.cols(), 3);
+        for i in 0..3 {
+            for j in 0..5 {
+                assert_eq!(t.get(j, i), m.get(i, j));
+            }
+        }
+        assert_eq!(t.transposed(), m);
+    }
+
+    #[test]
+    fn max_abs_diff_detects_change() {
+        let a = DenseMatrix::from_fn(2, 2, |i, j| (i + j) as f64);
+        let mut b = a.clone();
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+        b.set(1, 1, 100.0);
+        assert_eq!(a.max_abs_diff(&b), 98.0);
+    }
+
+    #[test]
+    fn iter_yields_all_coordinates() {
+        let m = DenseMatrix::from_fn(2, 2, |i, j| (i * 2 + j) as f64);
+        let items: Vec<_> = m.iter().collect();
+        assert_eq!(
+            items,
+            vec![(0, 0, 0.0), (0, 1, 1.0), (1, 0, 2.0), (1, 1, 3.0)]
+        );
+    }
+}

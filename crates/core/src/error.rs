@@ -1,0 +1,93 @@
+//! Error types for format construction and I/O.
+
+use std::fmt;
+
+/// Errors raised when constructing or converting sparse matrices.
+#[derive(Debug)]
+pub enum SparseError {
+    /// An entry's coordinates fall outside the declared matrix shape.
+    IndexOutOfBounds {
+        /// Offending row.
+        row: usize,
+        /// Offending column.
+        col: usize,
+        /// Declared row count.
+        rows: usize,
+        /// Declared column count.
+        cols: usize,
+    },
+    /// Two operands have incompatible shapes (e.g. `A.cols != B.rows`).
+    ShapeMismatch {
+        /// Human-readable description of the two shapes.
+        detail: String,
+    },
+    /// A blocked format was given an unusable block size (e.g. zero).
+    InvalidBlockSize {
+        /// Block rows requested.
+        r: usize,
+        /// Block cols requested.
+        c: usize,
+    },
+    /// Malformed textual or binary input.
+    Parse(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds { row, col, rows, cols } => write!(
+                f,
+                "entry ({row}, {col}) is outside the {rows}x{cols} matrix"
+            ),
+            SparseError::ShapeMismatch { detail } => {
+                write!(f, "shape mismatch: {detail}")
+            }
+            SparseError::InvalidBlockSize { r, c } => {
+                write!(f, "invalid block size {r}x{c}")
+            }
+            SparseError::Parse(msg) => write!(f, "parse error: {msg}"),
+            SparseError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SparseError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SparseError {
+    fn from(e: std::io::Error) -> Self {
+        SparseError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_descriptive() {
+        let e = SparseError::IndexOutOfBounds { row: 5, col: 7, rows: 4, cols: 4 };
+        assert!(e.to_string().contains("(5, 7)"));
+        assert!(e.to_string().contains("4x4"));
+
+        let e = SparseError::InvalidBlockSize { r: 0, c: 4 };
+        assert!(e.to_string().contains("0x4"));
+    }
+
+    #[test]
+    fn io_error_converts_and_chains() {
+        use std::error::Error;
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: SparseError = io.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("gone"));
+    }
+}

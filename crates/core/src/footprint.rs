@@ -1,0 +1,168 @@
+//! Memory-footprint accounting (§6.3.5 of the paper).
+
+use crate::{
+    BcsrMatrix, BellMatrix, CooMatrix, Csr5Matrix, CscMatrix, CsrMatrix, DenseMatrix, EllMatrix,
+    HybMatrix, Index, Scalar, SellMatrix,
+};
+
+/// Bytes of payload storage a matrix representation occupies.
+///
+/// The paper's §6.3.5 notes the suite's memory use was dominated by 64-bit
+/// indices and values; this trait makes the footprint of every format (and
+/// the effect of narrower `Scalar`/`Index` choices) directly measurable.
+/// Only array payloads are counted — struct headers and allocator slack are
+/// excluded so numbers are comparable across formats.
+pub trait MemoryFootprint {
+    /// Payload bytes of this representation.
+    fn memory_footprint(&self) -> usize;
+}
+
+impl<T: Scalar, I: Index> MemoryFootprint for CooMatrix<T, I> {
+    fn memory_footprint(&self) -> usize {
+        self.nnz() * (2 * I::BYTES + T::BYTES)
+    }
+}
+
+impl<T: Scalar, I: Index> MemoryFootprint for CsrMatrix<T, I> {
+    fn memory_footprint(&self) -> usize {
+        (self.rows() + 1) * I::BYTES + self.nnz() * (I::BYTES + T::BYTES)
+    }
+}
+
+impl<T: Scalar, I: Index> MemoryFootprint for CscMatrix<T, I> {
+    fn memory_footprint(&self) -> usize {
+        (self.cols() + 1) * I::BYTES + self.nnz() * (I::BYTES + T::BYTES)
+    }
+}
+
+impl<T: Scalar, I: Index> MemoryFootprint for EllMatrix<T, I> {
+    fn memory_footprint(&self) -> usize {
+        self.padded_len() * (I::BYTES + T::BYTES)
+    }
+}
+
+impl<T: Scalar, I: Index> MemoryFootprint for BcsrMatrix<T, I> {
+    fn memory_footprint(&self) -> usize {
+        (self.block_rows() + 1) * I::BYTES
+            + self.nblocks() * I::BYTES
+            + self.values().len() * T::BYTES
+    }
+}
+
+impl<T: Scalar, I: Index> MemoryFootprint for BellMatrix<T, I> {
+    fn memory_footprint(&self) -> usize {
+        self.block_col_idx().len() * I::BYTES + self.values().len() * T::BYTES
+    }
+}
+
+impl<T: Scalar, I: Index> MemoryFootprint for Csr5Matrix<T, I> {
+    fn memory_footprint(&self) -> usize {
+        // CSR payload + tile segment table (row + start per segment).
+        (self.row_ptr().len()) * I::BYTES
+            + self.nnz() * (I::BYTES + T::BYTES)
+            + (0..self.ntiles())
+                .map(|t| self.tile(t).segments.len() * 2 * I::BYTES)
+                .sum::<usize>()
+    }
+}
+
+impl<T: Scalar, I: Index> MemoryFootprint for SellMatrix<T, I> {
+    fn memory_footprint(&self) -> usize {
+        // Permutation + slice pointers/widths + padded payload.
+        self.padded_len() * (I::BYTES + T::BYTES)
+            + (2 * self.nslices() + 1 + self.rows()) * I::BYTES
+    }
+}
+
+impl<T: Scalar, I: Index> MemoryFootprint for HybMatrix<T, I> {
+    fn memory_footprint(&self) -> usize {
+        self.ell().memory_footprint() + self.tail().memory_footprint()
+    }
+}
+
+impl<T: Scalar> MemoryFootprint for DenseMatrix<T> {
+    fn memory_footprint(&self) -> usize {
+        self.rows() * self.cols() * T::BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CooMatrix<f64> {
+        CooMatrix::from_triplets(
+            100,
+            100,
+            &(0..100).map(|i| (i, i, 1.0)).collect::<Vec<_>>(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn csr_is_smaller_than_coo_for_tall_matrices() {
+        // CSR replaces nnz row indices with rows+1 pointers; for a diagonal
+        // matrix these tie, so use nnz > rows to see the compression.
+        let mut trips: Vec<(usize, usize, f64)> = Vec::new();
+        for i in 0..50 {
+            for j in 0..4 {
+                trips.push((i, (i + j) % 50, 1.0));
+            }
+        }
+        let coo = CooMatrix::<f64>::from_triplets(50, 50, &trips).unwrap();
+        let csr = CsrMatrix::from_coo(&coo);
+        assert!(csr.memory_footprint() < coo.memory_footprint());
+    }
+
+    #[test]
+    fn narrow_types_halve_the_footprint() {
+        // The §6.3.5 claim: 32-bit indices + values use half the memory.
+        let coo = sample();
+        let wide = coo.memory_footprint();
+        let narrow: CooMatrix<f32, u32> = {
+            let n: CooMatrix<f64, u32> = coo.with_index_type().unwrap();
+            let trips: Vec<(usize, usize, f32)> =
+                n.iter().map(|(r, c, v)| (r, c, v as f32)).collect();
+            CooMatrix::from_triplets(100, 100, &trips).unwrap()
+        };
+        assert_eq!(narrow.memory_footprint() * 2, wide);
+    }
+
+    #[test]
+    fn ell_footprint_scales_with_padding() {
+        // Diagonal matrix plus one full row: ELL pays width = cols.
+        let mut trips: Vec<(usize, usize, f64)> = (0..20).map(|i| (i, i, 1.0)).collect();
+        for j in 0..20 {
+            trips.push((0, j, 2.0));
+        }
+        let coo = CooMatrix::<f64>::from_triplets(20, 20, &trips).unwrap();
+        let ell = EllMatrix::from_coo(&coo);
+        let csr = CsrMatrix::from_coo(&coo);
+        assert!(ell.memory_footprint() > 5 * csr.memory_footprint());
+    }
+
+    #[test]
+    fn bcsr_footprint_includes_fill() {
+        let coo = sample(); // diagonal
+        let b1 = BcsrMatrix::from_coo(&coo, 1).unwrap();
+        let b4 = BcsrMatrix::from_coo(&coo, 4).unwrap();
+        // 4x4 blocks on a diagonal store 16 values per nonzero-bearing block.
+        assert!(b4.memory_footprint() > b1.memory_footprint());
+    }
+
+    #[test]
+    fn dense_footprint() {
+        let d = DenseMatrix::<f32>::zeros(10, 10);
+        assert_eq!(d.memory_footprint(), 400);
+    }
+
+    #[test]
+    fn all_formats_report_nonzero_footprint() {
+        let coo = sample();
+        let csr = CsrMatrix::from_coo(&coo);
+        assert!(CscMatrix::from_coo(&coo).memory_footprint() > 0);
+        assert!(BellMatrix::from_csr(&csr, 2).unwrap().memory_footprint() > 0);
+        assert!(Csr5Matrix::from_csr(&csr).memory_footprint() > 0);
+        assert!(EllMatrix::from_csr(&csr).memory_footprint() > 0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Integer index types for sparse storage.
+
+use std::fmt;
+use std::hash::Hash;
+
+/// An unsigned integer type usable for row/column/pointer arrays.
+///
+/// The suite defaults to `usize`, but every format is generic so that the
+/// §6.3.5 memory-footprint reduction (64-bit → 32-bit indices) is a type
+/// parameter. `from_usize` panics on overflow — a sparse matrix whose
+/// dimensions don't fit the index type is a construction-time programming
+/// error, not a runtime condition to handle.
+pub trait Index:
+    Copy + Ord + Eq + Hash + Default + Send + Sync + fmt::Debug + fmt::Display + 'static
+{
+    /// Largest representable index.
+    const MAX_USIZE: usize;
+    /// Size of one stored index in bytes.
+    const BYTES: usize = std::mem::size_of::<Self>();
+
+    /// Widen to `usize` for slice indexing.
+    fn as_usize(self) -> usize;
+    /// Narrow from `usize`; panics if the value does not fit.
+    fn from_usize(v: usize) -> Self;
+    /// Narrow from `usize` without panicking.
+    fn try_from_usize(v: usize) -> Option<Self>;
+}
+
+macro_rules! impl_index {
+    ($($t:ty),*) => {$(
+        impl Index for $t {
+            const MAX_USIZE: usize = <$t>::MAX as usize;
+
+            #[inline(always)]
+            fn as_usize(self) -> usize {
+                self as usize
+            }
+
+            #[inline(always)]
+            fn from_usize(v: usize) -> Self {
+                debug_assert!(
+                    v <= Self::MAX_USIZE,
+                    "index {v} does not fit in {}", stringify!($t)
+                );
+                v as $t
+            }
+
+            #[inline(always)]
+            fn try_from_usize(v: usize) -> Option<Self> {
+                (v <= Self::MAX_USIZE).then(|| v as $t)
+            }
+        }
+    )*};
+}
+
+impl_index!(u16, u32, u64, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        fn check<I: Index>(v: usize) {
+            assert_eq!(I::from_usize(v).as_usize(), v);
+            assert_eq!(I::try_from_usize(v), Some(I::from_usize(v)));
+        }
+        check::<u16>(65_535);
+        check::<u32>(1 << 20);
+        check::<u64>(1 << 40);
+        check::<usize>(usize::MAX);
+    }
+
+    #[test]
+    fn try_from_detects_overflow() {
+        assert_eq!(u16::try_from_usize(65_536), None);
+        assert_eq!(u32::try_from_usize((u32::MAX as usize) + 1), None);
+        assert!(u64::try_from_usize(usize::MAX).is_some());
+    }
+
+    #[test]
+    fn byte_sizes() {
+        assert_eq!(<u16 as Index>::BYTES, 2);
+        assert_eq!(<u32 as Index>::BYTES, 4);
+        assert_eq!(<u64 as Index>::BYTES, 8);
+    }
+}

@@ -1,0 +1,177 @@
+//! The matrix-property metric set of the paper's Table 5.1.
+
+use std::fmt;
+
+/// Structural metrics of a sparse matrix.
+///
+/// These are the columns of the paper's Table 5.1 — the quantities it uses
+/// to predict blocked-format behaviour — plus two derived metrics the
+/// related work relies on (ELL efficiency and density). All per-row metrics
+/// describe the distribution of nonzeros per row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixProperties {
+    /// Row count ("Size", matrices in the suite are square).
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+    /// Stored nonzeros ("Non-zeros").
+    pub nnz: usize,
+    /// Nonzeros in the fullest row ("Max").
+    pub max_row_nnz: usize,
+    /// Mean nonzeros per row ("Avg").
+    pub avg_row_nnz: f64,
+    /// `max / avg` ("Ratio") — the paper's headline predictor: high ratio
+    /// means ELL-style padding will be catastrophic (torso1 scores 44).
+    pub column_ratio: f64,
+    /// Variance of nonzeros per row ("Variance").
+    pub variance: f64,
+    /// Standard deviation of nonzeros per row ("Std Dev").
+    pub std_dev: f64,
+    /// `nnz / (rows * cols)`.
+    pub density: f64,
+    /// `nnz / (rows * max_row_nnz)`: the fraction of an ELL layout that
+    /// would hold real data (1.0 = no padding at all).
+    pub ell_efficiency: f64,
+    /// Maximum `|row - col|` over the nonzeros.
+    pub bandwidth: usize,
+}
+
+impl MatrixProperties {
+    /// Compute the metric set from per-row nonzero counts.
+    pub fn from_row_counts(
+        rows: usize,
+        cols: usize,
+        row_counts: &[usize],
+        bandwidth: usize,
+    ) -> Self {
+        assert_eq!(row_counts.len(), rows, "one count per row required");
+        let nnz: usize = row_counts.iter().sum();
+        let max_row_nnz = row_counts.iter().copied().max().unwrap_or(0);
+        let avg_row_nnz = if rows == 0 { 0.0 } else { nnz as f64 / rows as f64 };
+        let variance = if rows == 0 {
+            0.0
+        } else {
+            row_counts
+                .iter()
+                .map(|&c| {
+                    let d = c as f64 - avg_row_nnz;
+                    d * d
+                })
+                .sum::<f64>()
+                / rows as f64
+        };
+        let column_ratio = if avg_row_nnz == 0.0 {
+            0.0
+        } else {
+            max_row_nnz as f64 / avg_row_nnz
+        };
+        let cells = rows.saturating_mul(cols);
+        let density = if cells == 0 { 0.0 } else { nnz as f64 / cells as f64 };
+        let ell_slots = rows.saturating_mul(max_row_nnz);
+        let ell_efficiency = if ell_slots == 0 { 1.0 } else { nnz as f64 / ell_slots as f64 };
+        MatrixProperties {
+            rows,
+            cols,
+            nnz,
+            max_row_nnz,
+            avg_row_nnz,
+            column_ratio,
+            variance,
+            std_dev: variance.sqrt(),
+            density,
+            ell_efficiency,
+            bandwidth,
+        }
+    }
+
+    /// The CSV header matching [`MatrixProperties::csv_row`].
+    pub fn csv_header() -> &'static str {
+        "rows,cols,nnz,max,avg,ratio,variance,std_dev,density,ell_efficiency,bandwidth"
+    }
+
+    /// One CSV row of the metrics, in Table 5.1 column order.
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{:.2},{:.2},{:.2},{:.2},{:.6e},{:.4},{}",
+            self.rows,
+            self.cols,
+            self.nnz,
+            self.max_row_nnz,
+            self.avg_row_nnz,
+            self.column_ratio,
+            self.variance,
+            self.std_dev,
+            self.density,
+            self.ell_efficiency,
+            self.bandwidth
+        )
+    }
+}
+
+impl fmt::Display for MatrixProperties {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{}  nnz={}  max={}  avg={:.1}  ratio={:.1}  var={:.1}  std={:.1}",
+            self.rows,
+            self.cols,
+            self.nnz,
+            self.max_row_nnz,
+            self.avg_row_nnz,
+            self.column_ratio,
+            self.variance,
+            self.std_dev
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_rows_have_ratio_one() {
+        let p = MatrixProperties::from_row_counts(4, 4, &[3, 3, 3, 3], 2);
+        assert_eq!(p.nnz, 12);
+        assert_eq!(p.max_row_nnz, 3);
+        assert_eq!(p.avg_row_nnz, 3.0);
+        assert_eq!(p.column_ratio, 1.0);
+        assert_eq!(p.variance, 0.0);
+        assert_eq!(p.std_dev, 0.0);
+        assert_eq!(p.ell_efficiency, 1.0);
+    }
+
+    #[test]
+    fn skewed_rows_raise_ratio_and_variance() {
+        // One heavy row, like torso1 in miniature.
+        let p = MatrixProperties::from_row_counts(4, 100, &[40, 2, 2, 2], 99);
+        assert_eq!(p.max_row_nnz, 40);
+        assert!((p.avg_row_nnz - 11.5).abs() < 1e-12);
+        assert!(p.column_ratio > 3.0);
+        assert!(p.variance > 200.0);
+        assert!(p.ell_efficiency < 0.3);
+        assert_eq!(p.bandwidth, 99);
+    }
+
+    #[test]
+    fn empty_matrix_is_all_zeros() {
+        let p = MatrixProperties::from_row_counts(0, 0, &[], 0);
+        assert_eq!(p.nnz, 0);
+        assert_eq!(p.column_ratio, 0.0);
+        assert_eq!(p.density, 0.0);
+        assert_eq!(p.ell_efficiency, 1.0);
+    }
+
+    #[test]
+    fn csv_row_has_header_arity() {
+        let p = MatrixProperties::from_row_counts(3, 3, &[1, 2, 0], 2);
+        let fields = p.csv_row().split(',').count();
+        assert_eq!(fields, MatrixProperties::csv_header().split(',').count());
+    }
+
+    #[test]
+    fn std_dev_is_sqrt_of_variance() {
+        let p = MatrixProperties::from_row_counts(3, 3, &[1, 2, 3], 1);
+        assert!((p.std_dev * p.std_dev - p.variance).abs() < 1e-12);
+    }
+}

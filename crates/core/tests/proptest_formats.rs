@@ -1,0 +1,142 @@
+//! Property tests on the format layer: every conversion is lossless and
+//! every representation describes the same matrix.
+
+use proptest::prelude::*;
+use spmm_core::{
+    BcsrMatrix, BellMatrix, CooMatrix, Csr5Matrix, CscMatrix, CsrMatrix, DenseMatrix, EllMatrix,
+    MemoryFootprint, SparseMatrix,
+};
+
+/// A random sparse matrix: shape up to 32x32, up to 80 entries.
+fn sparse_matrix() -> impl Strategy<Value = CooMatrix<f64>> {
+    (1usize..32, 1usize..32).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(
+            (0..rows, 0..cols, -100i32..100).prop_map(|(r, c, v)| (r, c, v as f64 / 4.0)),
+            0..80,
+        )
+        .prop_map(move |trips| {
+            // Drop explicit zeros: formats may prune them, which would make
+            // nnz comparisons ambiguous.
+            let trips: Vec<_> = trips.into_iter().filter(|t| t.2 != 0.0).collect();
+            let mut coo = CooMatrix::from_triplets(rows, cols, &trips).expect("in bounds");
+            coo.prune_zeros(); // duplicate coordinates may sum to zero
+            coo
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_roundtrip(coo in sparse_matrix()) {
+        let csr = CsrMatrix::from_coo(&coo);
+        prop_assert_eq!(csr.to_coo(), coo.to_coo());
+        prop_assert_eq!(csr.nnz(), coo.nnz());
+    }
+
+    #[test]
+    fn csc_roundtrip(coo in sparse_matrix()) {
+        let csc = CscMatrix::from_coo(&coo);
+        prop_assert_eq!(csc.to_coo(), coo.to_coo());
+        prop_assert_eq!(csc.to_dense(), coo.to_dense());
+    }
+
+    #[test]
+    fn ell_preserves_matrix_and_counts_padding(coo in sparse_matrix()) {
+        let ell = EllMatrix::from_coo(&coo);
+        prop_assert_eq!(ell.to_dense(), coo.to_dense());
+        prop_assert_eq!(ell.nnz(), coo.nnz());
+        prop_assert!(ell.padded_len() >= ell.nnz());
+        prop_assert!((0.0..=1.0).contains(&ell.padding_fraction()));
+    }
+
+    #[test]
+    fn bcsr_covers_every_nonzero_exactly_once(coo in sparse_matrix(), block in 1usize..6) {
+        let bcsr = BcsrMatrix::from_coo(&coo, block).expect("valid block");
+        prop_assert_eq!(bcsr.to_dense(), coo.to_dense());
+        prop_assert_eq!(bcsr.nnz(), coo.nnz());
+        // Stored slots = blocks * area, and fill ratio is consistent.
+        prop_assert_eq!(bcsr.stored_entries(), bcsr.nblocks() * block * block);
+        prop_assert_eq!(bcsr.explicit_zeros(), bcsr.stored_entries() - bcsr.nnz());
+    }
+
+    #[test]
+    fn bell_preserves_matrix(coo in sparse_matrix(), block in 1usize..5) {
+        let bell = BellMatrix::from_coo(&coo, block).expect("valid block");
+        prop_assert_eq!(bell.to_dense(), coo.to_dense());
+        prop_assert_eq!(bell.nnz(), coo.nnz());
+    }
+
+    #[test]
+    fn csr5_preserves_matrix(coo in sparse_matrix(), tile in 1usize..20) {
+        let csr = CsrMatrix::from_coo(&coo);
+        let m = Csr5Matrix::from_csr_with_tile(&csr, tile).expect("valid tile");
+        prop_assert_eq!(m.to_dense(), coo.to_dense());
+        // Tiles partition the entry stream.
+        let covered: usize = (0..m.ntiles()).map(|t| {
+            let tile = m.tile(t);
+            tile.entry_hi - tile.entry_lo
+        }).sum();
+        prop_assert_eq!(covered, m.nnz());
+    }
+
+    #[test]
+    fn transpose_is_involution(coo in sparse_matrix()) {
+        let csr = CsrMatrix::from_coo(&coo);
+        prop_assert_eq!(csr.transpose().transpose(), csr.clone());
+        prop_assert_eq!(
+            csr.transpose().to_dense(),
+            coo.to_dense().transposed()
+        );
+    }
+
+    #[test]
+    fn properties_are_internally_consistent(coo in sparse_matrix()) {
+        let p = coo.properties();
+        prop_assert_eq!(p.nnz, coo.nnz());
+        prop_assert!(p.max_row_nnz as f64 >= p.avg_row_nnz);
+        prop_assert!((p.std_dev * p.std_dev - p.variance).abs() < 1e-9);
+        if p.nnz > 0 {
+            prop_assert!(p.column_ratio >= 1.0 - 1e-12);
+            prop_assert!(p.ell_efficiency > 0.0 && p.ell_efficiency <= 1.0);
+        }
+        // CSR computes the same metrics without a COO pass.
+        prop_assert_eq!(CsrMatrix::from_coo(&coo).properties(), p);
+    }
+
+    #[test]
+    fn footprints_are_positive_and_blocking_never_shrinks_values(
+        coo in sparse_matrix(),
+        block in 1usize..5,
+    ) {
+        prop_assume!(coo.nnz() > 0);
+        let csr = CsrMatrix::from_coo(&coo);
+        let bcsr = BcsrMatrix::from_csr(&csr, block).expect("valid block");
+        prop_assert!(csr.memory_footprint() > 0);
+        // BCSR stores at least the real values.
+        prop_assert!(bcsr.values().len() >= coo.nnz());
+    }
+
+    #[test]
+    fn spmm_reference_is_linear_in_b(coo in sparse_matrix()) {
+        // A * (2B) == 2 * (A * B): catches value/index mixups cheaply.
+        let k = 3;
+        let b = DenseMatrix::from_fn(coo.cols(), k, |i, j| ((i * 5 + j) % 7) as f64 - 3.0);
+        let b2 = DenseMatrix::from_fn(coo.cols(), k, |i, j| b.get(i, j) * 2.0);
+        let c = coo.spmm_reference(&b);
+        let c2 = coo.spmm_reference(&b2);
+        for (x, y) in c.as_slice().iter().zip(c2.as_slice()) {
+            prop_assert!((y - 2.0 * x).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bcsr_cache_roundtrips(coo in sparse_matrix(), block in 1usize..5) {
+        let bcsr = BcsrMatrix::from_coo(&coo, block).expect("valid block");
+        let mut buf = Vec::new();
+        bcsr.write_cache(&mut buf).expect("write");
+        let loaded = BcsrMatrix::<f64>::read_cache(&mut buf.as_slice()).expect("read");
+        prop_assert_eq!(loaded, bcsr);
+    }
+}

@@ -1,0 +1,95 @@
+//! Device profiles: the two GPUs of the paper's evaluation.
+
+/// Architectural parameters of a simulated GPU.
+///
+/// Values are public datasheet numbers; the timing model only needs them to
+/// be *relatively* right (H100 vs A100 bandwidth and FP64 throughput), since
+/// the reproduction targets the paper's shapes, not its absolute MFLOPS.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceProfile {
+    /// Marketing name, used in reports.
+    pub name: &'static str,
+    /// Streaming multiprocessor count.
+    pub sms: usize,
+    /// Threads per warp (32 on every NVIDIA part).
+    pub warp_size: usize,
+    /// Boost clock in GHz.
+    pub clock_ghz: f64,
+    /// DRAM bandwidth in GB/s.
+    pub dram_gbps: f64,
+    /// L2 cache capacity in bytes.
+    pub l2_bytes: usize,
+    /// Device memory capacity in bytes (Study 7 dropped matrices that
+    /// exceeded it).
+    pub mem_bytes: usize,
+    /// Maximum resident threads per SM (occupancy ceiling).
+    pub max_threads_per_sm: usize,
+    /// FP64 FLOPs per cycle per SM (FMA counts as 2).
+    pub flops_per_cycle_per_sm: f64,
+    /// Fixed kernel launch overhead in microseconds.
+    pub launch_overhead_us: f64,
+    /// Memory transaction sector size in bytes.
+    pub sector_bytes: usize,
+}
+
+impl DeviceProfile {
+    /// The H100 SXM of the paper's Grace Hopper machine.
+    pub fn h100() -> Self {
+        DeviceProfile {
+            name: "H100 (Grace Hopper)",
+            sms: 132,
+            warp_size: 32,
+            clock_ghz: 1.83,
+            dram_gbps: 3350.0,
+            l2_bytes: 50 * 1024 * 1024,
+            mem_bytes: 96 * 1024 * 1024 * 1024,
+            max_threads_per_sm: 2048,
+            flops_per_cycle_per_sm: 128.0,
+            launch_overhead_us: 5.0,
+            sector_bytes: 32,
+        }
+    }
+
+    /// The A100 of the paper's Aries (AMD Milan) machine.
+    pub fn a100() -> Self {
+        DeviceProfile {
+            name: "A100 (Aries)",
+            sms: 108,
+            warp_size: 32,
+            clock_ghz: 1.41,
+            dram_gbps: 1555.0,
+            l2_bytes: 40 * 1024 * 1024,
+            mem_bytes: 40 * 1024 * 1024 * 1024,
+            max_threads_per_sm: 2048,
+            flops_per_cycle_per_sm: 64.0,
+            launch_overhead_us: 5.0,
+            sector_bytes: 32,
+        }
+    }
+
+    /// Peak FP64 throughput in GFLOP/s.
+    pub fn peak_gflops(&self) -> f64 {
+        self.sms as f64 * self.clock_ghz * self.flops_per_cycle_per_sm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h100_outclasses_a100() {
+        let h = DeviceProfile::h100();
+        let a = DeviceProfile::a100();
+        assert!(h.peak_gflops() > a.peak_gflops());
+        assert!(h.dram_gbps > a.dram_gbps);
+        assert!(h.mem_bytes > a.mem_bytes);
+    }
+
+    #[test]
+    fn peaks_are_datasheet_magnitude() {
+        // H100 FP64 ≈ 34 TFLOPS, A100 ≈ 9.7 TFLOPS.
+        assert!((DeviceProfile::h100().peak_gflops() - 31_000.0).abs() < 8_000.0);
+        assert!((DeviceProfile::a100().peak_gflops() - 9_700.0).abs() < 3_000.0);
+    }
+}

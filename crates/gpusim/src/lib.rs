@@ -1,0 +1,37 @@
+//! # spmm-gpusim
+//!
+//! A SIMT GPU simulator standing in for the paper's H100/A100 hardware.
+//!
+//! The paper runs its GPU kernels through OpenMP target offload on an
+//! NVIDIA H100 (Grace Hopper) and an A100 (Aries), and compares against
+//! cuSPARSE. No GPU exists in this environment, so this crate substitutes a
+//! simulator with two halves:
+//!
+//! * **Functional execution** — kernels are written as per-thread bodies
+//!   over a launch grid ([`exec::launch`]) and executed for real, so every
+//!   GPU result is verified against the CPU reference exactly like the
+//!   hardware kernels would be.
+//! * **Timing model** — a sampled-warp memory trace feeds a coalescing
+//!   model (32-byte sectors per warp load instruction), combined with an
+//!   L2 working-set estimate, DRAM/compute rooflines and an occupancy
+//!   term per [`device::DeviceProfile`]. Format-induced effects (ELL's
+//!   regular coalesced slots, CSR's per-row divergence, COO's atomic
+//!   scatter, BCSR's block regularity) emerge from the trace rather than
+//!   being hard-coded.
+//!
+//! [`kernels`] holds the "OpenMP offload"-style SpMM kernels for the four
+//! paper formats; [`vendor`] holds tuned kernels standing in for cuSPARSE
+//! (Study 7); [`fault`] reproduces the paper's flaky Aries offload runtime,
+//! which silently dropped matrices from the x86 GPU studies.
+
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod exec;
+pub mod fault;
+pub mod kernels;
+pub mod vendor;
+
+pub use device::DeviceProfile;
+pub use exec::{launch, LaunchConfig, LaunchStats, Tracer};
+pub use fault::{FlakyRuntime, GpuRuntimeError};

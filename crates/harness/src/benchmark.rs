@@ -1,0 +1,563 @@
+//! The benchmark object model: the paper's C++ class as a Rust trait.
+
+use std::str::FromStr;
+use std::time::Duration;
+
+use spmm_core::{
+    suggested_tolerance, verify, CooMatrix, DenseMatrix, MatrixProperties,
+    VerifyError,
+};
+use spmm_gpusim::{DeviceProfile, LaunchStats};
+use spmm_kernels::FormatData;
+use spmm_parallel::global_pool;
+
+use crate::params::Params;
+use crate::report::Report;
+use crate::timer::{time_once, time_repeated};
+
+/// Execution backend of a kernel (the paper's serial / OMP / GPU columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Single-threaded CPU.
+    Serial,
+    /// CPU parallel via the OpenMP-like runtime.
+    Parallel,
+    /// Simulated H100 (the Grace Hopper GPU).
+    GpuH100,
+    /// Simulated A100 (the Aries GPU).
+    GpuA100,
+}
+
+impl Backend {
+    /// Name used in reports and CSV.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Serial => "serial",
+            Backend::Parallel => "omp",
+            Backend::GpuH100 => "gpu-h100",
+            Backend::GpuA100 => "gpu-a100",
+        }
+    }
+
+    /// The simulated device, if this is a GPU backend.
+    pub fn device(self) -> Option<DeviceProfile> {
+        match self {
+            Backend::GpuH100 => Some(DeviceProfile::h100()),
+            Backend::GpuA100 => Some(DeviceProfile::a100()),
+            _ => None,
+        }
+    }
+}
+
+impl FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "serial" => Ok(Backend::Serial),
+            "parallel" | "omp" => Ok(Backend::Parallel),
+            "gpu" | "gpu-h100" => Ok(Backend::GpuH100),
+            "gpu-a100" => Ok(Backend::GpuA100),
+            other => Err(format!("unknown backend `{other}`")),
+        }
+    }
+}
+
+/// Kernel variant within a backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// The standard kernel.
+    Normal,
+    /// Transposed-B kernel (Study 8).
+    TransposedB,
+    /// Const-`K` manually optimized kernel (Study 9).
+    FixedK,
+    /// Vendor (cuSPARSE-style) kernel — GPU backends only (Study 7).
+    Vendor,
+}
+
+impl Variant {
+    /// Name used in reports and CSV.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Normal => "normal",
+            Variant::TransposedB => "transposed",
+            Variant::FixedK => "fixed-k",
+            Variant::Vendor => "cusparse",
+        }
+    }
+}
+
+impl FromStr for Variant {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "normal" => Ok(Variant::Normal),
+            "transposed" | "bt" => Ok(Variant::TransposedB),
+            "fixed-k" | "fixedk" | "const-k" => Ok(Variant::FixedK),
+            "cusparse" | "vendor" => Ok(Variant::Vendor),
+            other => Err(format!("unknown variant `{other}`")),
+        }
+    }
+}
+
+/// The operation benchmarked: the paper's SpMM, or the §6.3.4 SpMV
+/// extension (the dense operand collapses to one vector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Sparse × dense matrix.
+    Spmm,
+    /// Sparse × vector.
+    Spmv,
+}
+
+impl Op {
+    /// Name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Op::Spmm => "spmm",
+            Op::Spmv => "spmv",
+        }
+    }
+}
+
+impl FromStr for Op {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "spmm" => Ok(Op::Spmm),
+            "spmv" => Ok(Op::Spmv),
+            other => Err(format!("unknown op `{other}` (spmm or spmv)")),
+        }
+    }
+}
+
+/// The suite's benchmark interface — the Rust rendering of the thesis's
+/// C++ base class (§4.1): a custom format implements `format()` and
+/// `calc()`, and inherits timing, verification and reporting.
+pub trait SpmmBenchmark {
+    /// Human-readable kernel name.
+    fn name(&self) -> String;
+    /// Build the format-specific representation from the loaded COO
+    /// matrix. Called once, timed as "formatting time".
+    fn format(&mut self) -> Result<(), String>;
+    /// One multiplication pass. Called `-n` times, averaged.
+    fn calc(&mut self) -> Result<(), String>;
+    /// Check the last result against the COO reference multiply.
+    fn verify(&self) -> Result<(), VerifyError>;
+    /// Useful FLOPs of one `calc()` (the MFLOPS numerator).
+    fn useful_flops(&self) -> u64;
+}
+
+/// The built-in benchmark covering every (format × backend × variant)
+/// combination over the suite's kernels.
+pub struct SuiteBenchmark {
+    matrix_name: String,
+    coo: CooMatrix<f64>,
+    properties: MatrixProperties,
+    b: DenseMatrix<f64>,
+    bt: Option<DenseMatrix<f64>>,
+    c: DenseMatrix<f64>,
+    data: Option<FormatData<f64>>,
+    /// SpMV operand (first column of B) and result, for `--op spmv`.
+    x: Vec<f64>,
+    y: Vec<f64>,
+    params: Params,
+    /// Simulated launch stats of the last GPU calc.
+    pub last_gpu_stats: Option<LaunchStats>,
+}
+
+impl SuiteBenchmark {
+    /// Assemble a benchmark from an already-loaded matrix.
+    pub fn new(matrix_name: &str, coo: CooMatrix<f64>, params: Params) -> Self {
+        let b = spmm_matgen::gen::dense_b(coo.cols(), params.k, params.seed ^ 0xB);
+        let properties = coo.properties();
+        let c = DenseMatrix::zeros(coo.rows(), params.k);
+        let x = (0..coo.cols()).map(|i| b.get(i, 0)).collect();
+        let y = vec![0.0; coo.rows()];
+        SuiteBenchmark {
+            matrix_name: matrix_name.to_string(),
+            coo,
+            properties,
+            b,
+            bt: None,
+            c,
+            data: None,
+            x,
+            y,
+            params,
+            last_gpu_stats: None,
+        }
+    }
+
+    /// Load the matrix named by `params.matrix` (suite name or `.mtx`
+    /// path) and assemble the benchmark.
+    pub fn from_params(params: Params) -> Result<Self, String> {
+        let coo = if params.matrix.ends_with(".mtx") {
+            spmm_matgen::mm::read_matrix_market_file(&params.matrix)
+                .map_err(|e| format!("cannot read {}: {e}", params.matrix))?
+        } else {
+            spmm_matgen::by_name(&params.matrix)
+                .ok_or_else(|| format!("unknown suite matrix `{}`", params.matrix))?
+                .generate(params.scale, params.seed)
+        };
+        let name = params.matrix.clone();
+        Ok(SuiteBenchmark::new(&name, coo, params))
+    }
+
+    /// Matrix properties (the Table 5.1 metrics).
+    pub fn properties(&self) -> &MatrixProperties {
+        &self.properties
+    }
+
+    /// The formatted matrix, if `format()` has run.
+    pub fn data(&self) -> Option<&FormatData<f64>> {
+        self.data.as_ref()
+    }
+
+    /// The result matrix of the last `calc()`.
+    pub fn result(&self) -> &DenseMatrix<f64> {
+        &self.c
+    }
+
+    fn gpu_calc(&mut self, device: &DeviceProfile) -> Result<(), String> {
+        let data = self.data.as_ref().expect("format() ran");
+        let k = self.params.k;
+        let stats = match (&self.params.variant, data) {
+            (Variant::Vendor, FormatData::Csr(m)) => {
+                spmm_gpusim::vendor::cusparse_csr_spmm(device, m, &self.b, k, &mut self.c)
+            }
+            (Variant::Vendor, FormatData::Coo(m)) => {
+                spmm_gpusim::vendor::cusparse_coo_spmm(device, m, &self.b, k, &mut self.c)
+            }
+            (Variant::Vendor, _) => {
+                return Err(format!(
+                    "cuSPARSE provides only COO and CSR SpMM (asked for {})",
+                    data.format()
+                ))
+            }
+            (_, FormatData::Coo(m)) => {
+                spmm_gpusim::kernels::coo_spmm_gpu(device, m, &self.b, k, &mut self.c)
+            }
+            (_, FormatData::Csr(m)) => {
+                spmm_gpusim::kernels::csr_spmm_gpu(device, m, &self.b, k, &mut self.c)
+            }
+            (_, FormatData::Ell(m)) => {
+                spmm_gpusim::kernels::ell_spmm_gpu(device, m, &self.b, k, &mut self.c)
+            }
+            (_, FormatData::Bcsr(m)) => {
+                spmm_gpusim::kernels::bcsr_spmm_gpu(device, m, &self.b, k, &mut self.c)
+            }
+            (_, FormatData::Sell(m)) => {
+                spmm_gpusim::kernels::sell_spmm_gpu(device, m, &self.b, k, &mut self.c)
+            }
+            (_, other) => {
+                return Err(format!("no GPU kernel for format {}", other.format()))
+            }
+        };
+        self.last_gpu_stats = Some(stats);
+        Ok(())
+    }
+}
+
+impl SuiteBenchmark {
+    fn spmv_calc(&mut self) -> Result<(), String> {
+        let data = self.data.as_ref().ok_or("calc() before format()")?;
+        if self.params.variant != Variant::Normal {
+            return Err("SpMV supports only the normal variant".to_string());
+        }
+        let ok = match self.params.backend {
+            Backend::Serial => data.spmv_serial(&self.x, &mut self.y),
+            Backend::Parallel => data.spmv_parallel(
+                global_pool(),
+                self.params.threads,
+                self.params.schedule,
+                &self.x,
+                &mut self.y,
+            ),
+            Backend::GpuH100 | Backend::GpuA100 => {
+                return Err("SpMV has no GPU kernels (SpMM only)".to_string())
+            }
+        };
+        if !ok {
+            return Err(format!("{} has no SpMV kernel", self.params.format));
+        }
+        Ok(())
+    }
+}
+
+impl SpmmBenchmark for SuiteBenchmark {
+    fn name(&self) -> String {
+        format!(
+            "{}/{}/{}/{}/{}",
+            self.matrix_name,
+            self.params.op.name(),
+            self.params.format,
+            self.params.backend.name(),
+            self.params.variant.name()
+        )
+    }
+
+    fn format(&mut self) -> Result<(), String> {
+        let data = FormatData::from_coo(self.params.format, &self.coo, self.params.block)
+            .map_err(|e| format!("formatting failed: {e}"))?;
+        // The transpose variant's pre-pass belongs to formatting time.
+        if self.params.variant == Variant::TransposedB {
+            self.bt = Some(self.b.transposed());
+        }
+        self.data = Some(data);
+        Ok(())
+    }
+
+    fn calc(&mut self) -> Result<(), String> {
+        let k = self.params.k;
+        if self.params.op == Op::Spmv {
+            return self.spmv_calc();
+        }
+        if let Some(device) = self.params.backend.device() {
+            return self.gpu_calc(&device);
+        }
+        let data = self.data.as_ref().ok_or("calc() before format()")?;
+        let pool = global_pool();
+        let (threads, sched) = (self.params.threads, self.params.schedule);
+        let ok = match (self.params.backend, self.params.variant) {
+            (Backend::Serial, Variant::Normal) => {
+                data.spmm_serial(&self.b, k, &mut self.c);
+                true
+            }
+            (Backend::Serial, Variant::TransposedB) => {
+                let bt = self.bt.as_ref().ok_or("transposed variant needs format()")?;
+                data.spmm_serial_bt(bt, k, &mut self.c)
+            }
+            (Backend::Serial, Variant::FixedK) => data.spmm_serial_fixed_k(&self.b, k, &mut self.c),
+            (Backend::Parallel, Variant::Normal) => {
+                data.spmm_parallel(pool, threads, sched, &self.b, k, &mut self.c);
+                true
+            }
+            (Backend::Parallel, Variant::TransposedB) => {
+                let bt = self.bt.as_ref().ok_or("transposed variant needs format()")?;
+                data.spmm_parallel_bt(pool, threads, sched, bt, k, &mut self.c)
+            }
+            (Backend::Parallel, Variant::FixedK) => {
+                data.spmm_parallel_fixed_k(pool, threads, sched, &self.b, k, &mut self.c)
+            }
+            (_, Variant::Vendor) => {
+                return Err("the cuSPARSE variant requires a GPU backend".to_string())
+            }
+            (Backend::GpuH100 | Backend::GpuA100, _) => unreachable!("handled above"),
+        };
+        if !ok {
+            return Err(format!(
+                "{}/{} has no {} kernel",
+                self.params.format,
+                self.params.backend.name(),
+                self.params.variant.name()
+            ));
+        }
+        Ok(())
+    }
+
+    fn verify(&self) -> Result<(), VerifyError> {
+        let tol = suggested_tolerance::<f64>(self.properties.max_row_nnz.max(1));
+        if self.params.op == Op::Spmv {
+            let expected = self.coo.spmv_reference(&self.x);
+            let got = DenseMatrix::from_vec(self.y.len(), 1, self.y.clone())
+                .expect("vector reshapes");
+            let want =
+                DenseMatrix::from_vec(expected.len(), 1, expected).expect("vector reshapes");
+            return verify(&got, &want, tol);
+        }
+        let reference = self.coo.spmm_reference_k(&self.b, self.params.k);
+        verify(&self.c, &reference, tol)
+    }
+
+    fn useful_flops(&self) -> u64 {
+        match self.params.op {
+            Op::Spmm => spmm_kernels::spmm_flops(self.coo.nnz(), self.params.k),
+            Op::Spmv => 2 * self.coo.nnz() as u64,
+        }
+    }
+}
+
+/// Run a benchmark end to end: format (timed), `-n` timed calculation
+/// calls, verification, report assembly. This is the suite's main loop.
+pub fn run(bench: &mut SuiteBenchmark) -> Result<Report, String> {
+    let params = bench.params.clone();
+    let (fmt_result, format_time) = time_once(|| bench.format());
+    fmt_result?;
+
+    // First call outside the timing loop validates the combination (and
+    // warms the pool), mirroring the suite's untimed warm-up.
+    bench.calc()?;
+
+    let mut calc_err: Option<String> = None;
+    let timings = time_repeated(params.iterations, || {
+        if let Err(e) = bench.calc() {
+            calc_err = Some(e);
+        }
+    });
+    if let Some(e) = calc_err {
+        return Err(e);
+    }
+
+    // GPU backends report the simulator's time, not host wall-clock.
+    let (avg_calc, simulated) = match &bench.last_gpu_stats {
+        Some(stats) => (Duration::from_secs_f64(stats.time_s), true),
+        None => (timings.avg, false),
+    };
+
+    let verification = if params.no_verify {
+        None
+    } else {
+        Some(bench.verify())
+    };
+
+    Ok(Report::new(bench, &params, format_time, avg_calc, timings, simulated, verification))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params() -> Params {
+        Params {
+            matrix: "bcsstk13".into(),
+            scale: 0.2,
+            k: 16,
+            iterations: 2,
+            threads: 3,
+            ..Params::default()
+        }
+    }
+
+    #[test]
+    fn serial_csr_end_to_end() {
+        let mut bench = SuiteBenchmark::from_params(small_params()).unwrap();
+        let report = run(&mut bench).unwrap();
+        assert!(report.mflops > 0.0);
+        assert_eq!(report.verified, Some(true));
+        assert!(!report.simulated);
+        assert!(report.format_time_s >= 0.0);
+    }
+
+    #[test]
+    fn every_backend_variant_combination_that_should_work_works() {
+        use spmm_core::SparseFormat::*;
+        let combos: &[(spmm_core::SparseFormat, Backend, Variant)] = &[
+            (Coo, Backend::Serial, Variant::Normal),
+            (Csr, Backend::Parallel, Variant::Normal),
+            (Ell, Backend::Serial, Variant::TransposedB),
+            (Bcsr, Backend::Parallel, Variant::TransposedB),
+            (Csr, Backend::Serial, Variant::FixedK),
+            (Ell, Backend::Parallel, Variant::FixedK),
+            (Csr, Backend::GpuH100, Variant::Normal),
+            (Coo, Backend::GpuA100, Variant::Normal),
+            (Csr, Backend::GpuH100, Variant::Vendor),
+            (Bell, Backend::Serial, Variant::Normal),
+            (Csr5, Backend::Parallel, Variant::Normal),
+        ];
+        for &(format, backend, variant) in combos {
+            let params = Params { format, backend, variant, ..small_params() };
+            let mut bench = SuiteBenchmark::from_params(params).unwrap();
+            let report = run(&mut bench)
+                .unwrap_or_else(|e| panic!("{format}/{}/{}: {e}", backend.name(), variant.name()));
+            assert_eq!(
+                report.verified,
+                Some(true),
+                "{format}/{}/{} verification",
+                backend.name(),
+                variant.name()
+            );
+        }
+    }
+
+    #[test]
+    fn unsupported_combinations_error_cleanly() {
+        // BELL has no transpose kernel.
+        let params = Params {
+            format: spmm_core::SparseFormat::Bell,
+            variant: Variant::TransposedB,
+            ..small_params()
+        };
+        let mut bench = SuiteBenchmark::from_params(params).unwrap();
+        assert!(run(&mut bench).is_err());
+        // cuSPARSE variant needs a GPU backend.
+        let params = Params {
+            variant: Variant::Vendor,
+            backend: Backend::Serial,
+            ..small_params()
+        };
+        let mut bench = SuiteBenchmark::from_params(params).unwrap();
+        assert!(run(&mut bench).is_err());
+        // cuSPARSE only does COO/CSR.
+        let params = Params {
+            variant: Variant::Vendor,
+            backend: Backend::GpuH100,
+            format: spmm_core::SparseFormat::Ell,
+            ..small_params()
+        };
+        let mut bench = SuiteBenchmark::from_params(params).unwrap();
+        assert!(run(&mut bench).is_err());
+    }
+
+    #[test]
+    fn gpu_reports_simulated_time() {
+        let params = Params { backend: Backend::GpuH100, ..small_params() };
+        let mut bench = SuiteBenchmark::from_params(params).unwrap();
+        let report = run(&mut bench).unwrap();
+        assert!(report.simulated);
+        assert!(report.mflops > 0.0);
+    }
+
+    #[test]
+    fn spmv_op_end_to_end() {
+        for backend in [Backend::Serial, Backend::Parallel] {
+            let params = Params { op: Op::Spmv, backend, ..small_params() };
+            let mut bench = SuiteBenchmark::from_params(params).unwrap();
+            let report = run(&mut bench).unwrap();
+            assert_eq!(report.verified, Some(true), "{}", backend.name());
+            // SpMV useful flops are k-independent.
+            assert_eq!(report.useful_flops, 2 * report.nnz as u64);
+        }
+        // SpMV has no GPU kernels.
+        let params = Params { op: Op::Spmv, backend: Backend::GpuH100, ..small_params() };
+        let mut bench = SuiteBenchmark::from_params(params).unwrap();
+        assert!(run(&mut bench).is_err());
+        // SELL/HYB/CSR5 have no SpMV kernels either: clean error.
+        let params = Params {
+            op: Op::Spmv,
+            format: spmm_core::SparseFormat::Sell,
+            ..small_params()
+        };
+        let mut bench = SuiteBenchmark::from_params(params).unwrap();
+        assert!(run(&mut bench).is_err());
+    }
+
+    #[test]
+    fn extension_formats_run_through_the_harness() {
+        for format in [spmm_core::SparseFormat::Sell, spmm_core::SparseFormat::Hyb] {
+            for backend in [Backend::Serial, Backend::Parallel] {
+                let params = Params { format, backend, ..small_params() };
+                let mut bench = SuiteBenchmark::from_params(params).unwrap();
+                let report = run(&mut bench).unwrap();
+                assert_eq!(report.verified, Some(true), "{format}/{}", backend.name());
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_matrix_is_an_error() {
+        let params = Params { matrix: "not_a_matrix".into(), ..small_params() };
+        assert!(SuiteBenchmark::from_params(params).is_err());
+    }
+
+    #[test]
+    fn backend_variant_parsing() {
+        assert_eq!("omp".parse::<Backend>().unwrap(), Backend::Parallel);
+        assert_eq!("gpu".parse::<Backend>().unwrap(), Backend::GpuH100);
+        assert_eq!("bt".parse::<Variant>().unwrap(), Variant::TransposedB);
+        assert!("quantum".parse::<Backend>().is_err());
+    }
+}

@@ -1,0 +1,83 @@
+//! `spmm-bench`: run one SpMM kernel benchmark, like the thesis suite's
+//! per-kernel binaries.
+//!
+//! ```text
+//! spmm-bench -m torso1 -f bcsr --backend parallel -t 32 -b 4 -k 128
+//! ```
+
+use spmm_harness::benchmark::{run, SuiteBenchmark};
+use spmm_harness::{Params, Report};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list-matrices") {
+        println!("{:<16} {:>8} {:>10} {:>6} {:>6} {:>6}", "name", "rows", "nnz", "max", "avg", "ratio");
+        for spec in spmm_matgen::full_suite() {
+            println!(
+                "{:<16} {:>8} {:>10} {:>6} {:>6} {:>6}",
+                spec.name, spec.rows, spec.paper.nnz, spec.paper.max, spec.paper.avg, spec.paper.ratio
+            );
+        }
+        return;
+    }
+    let params = match Params::parse(&args) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    // The thesis's best-thread-count feature (Study 3.1): run the whole
+    // benchmark once per listed thread count and report the winner.
+    if !params.thread_list.is_empty() {
+        let mut best: Option<(usize, Report)> = None;
+        for &t in &params.thread_list {
+            let p = Params { threads: t, thread_list: Vec::new(), ..params.clone() };
+            match SuiteBenchmark::from_params(p).and_then(|mut b| run(&mut b)) {
+                Ok(report) => {
+                    if params.debug {
+                        eprintln!("threads {t}: {:.2} MFLOPS", report.mflops);
+                    }
+                    if best.as_ref().is_none_or(|(_, r)| report.mflops > r.mflops) {
+                        best = Some((t, report));
+                    }
+                }
+                Err(e) => eprintln!("threads {t}: {e}"),
+            }
+        }
+        match best {
+            Some((t, report)) => {
+                println!("best thread count: {t}");
+                emit(&params, &report);
+            }
+            None => {
+                eprintln!("every thread count failed");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    match SuiteBenchmark::from_params(params.clone()).and_then(|mut b| run(&mut b)) {
+        Ok(report) => {
+            emit(&params, &report);
+            if report.verified == Some(false) {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn emit(params: &Params, report: &Report) {
+    if params.csv {
+        println!("{}", Report::csv_header());
+        println!("{}", report.csv_row());
+    } else {
+        print!("{report}");
+    }
+}

@@ -1,0 +1,97 @@
+//! ASCII bar charts for terminal study output.
+//!
+//! The thesis generated its figures with a Python plotting script over the
+//! suite's CSV; here each study also renders a terminal chart so
+//! `run-studies` output is readable without any plotting step.
+
+/// Render grouped horizontal bars: one group per row label, one bar per
+/// series. Values are scaled to the widest bar.
+pub fn grouped_bars(
+    title: &str,
+    row_labels: &[String],
+    series_labels: &[String],
+    // values[series][row]; NaN marks a missing measurement.
+    values: &[Vec<f64>],
+    unit: &str,
+) -> String {
+    assert_eq!(series_labels.len(), values.len(), "one label per series");
+    const WIDTH: usize = 40;
+    let max = values
+        .iter()
+        .flatten()
+        .copied()
+        .filter(|v| v.is_finite())
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    let label_w = row_labels
+        .iter()
+        .chain(series_labels)
+        .map(|s| s.len())
+        .max()
+        .unwrap_or(8)
+        .max(8);
+
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!("{}\n", "=".repeat(title.len())));
+    for (r, row) in row_labels.iter().enumerate() {
+        out.push_str(&format!("{row}\n"));
+        for (s, series) in series_labels.iter().enumerate() {
+            let v = values[s].get(r).copied().unwrap_or(f64::NAN);
+            if v.is_finite() {
+                let bar_len = ((v / max) * WIDTH as f64).round() as usize;
+                out.push_str(&format!(
+                    "  {series:<label_w$} |{} {v:.1} {unit}\n",
+                    "#".repeat(bar_len)
+                ));
+            } else {
+                out.push_str(&format!("  {series:<label_w$} |(no result)\n"));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_rows_and_series() {
+        let chart = grouped_bars(
+            "Test Chart",
+            &["m1".into(), "m2".into()],
+            &["csr".into(), "coo".into()],
+            &[vec![10.0, 20.0], vec![5.0, f64::NAN]],
+            "MFLOPS",
+        );
+        assert!(chart.contains("Test Chart"));
+        assert!(chart.contains("m1"));
+        assert!(chart.contains("m2"));
+        assert!(chart.matches("csr").count() == 2);
+        assert!(chart.contains("(no result)"));
+        assert!(chart.contains("20.0 MFLOPS"));
+    }
+
+    #[test]
+    fn bars_scale_to_maximum() {
+        let chart = grouped_bars(
+            "Scale",
+            &["row".into()],
+            &["a".into(), "b".into()],
+            &[vec![40.0], vec![20.0]],
+            "",
+        );
+        let a_bar = chart.lines().find(|l| l.contains("a ")).unwrap();
+        let b_bar = chart.lines().find(|l| l.contains("b ")).unwrap();
+        let hashes = |s: &str| s.chars().filter(|&c| c == '#').count();
+        assert_eq!(hashes(a_bar), 40);
+        assert_eq!(hashes(b_bar), 20);
+    }
+
+    #[test]
+    fn empty_values_do_not_panic() {
+        let chart = grouped_bars("E", &[], &[], &[], "x");
+        assert!(chart.contains('E'));
+    }
+}

@@ -1,0 +1,37 @@
+//! # spmm-harness
+//!
+//! The SpMM-Bench benchmark suite (the paper's first contribution).
+//!
+//! The thesis structures its C++ suite as a core library owning parameter
+//! parsing, timing, FLOPS reporting and verification, with one overridable
+//! `format()`/`calc()` pair per kernel. This crate reproduces that design:
+//!
+//! * [`params::Params`] — the suite's command-line flags (`-n`, `-t`,
+//!   `-b`, `-k`, thread lists, debug);
+//! * [`benchmark`] — the [`benchmark::SpmmBenchmark`] trait mirroring the
+//!   C++ class, a concrete [`benchmark::SuiteBenchmark`] covering every
+//!   (format × backend × variant) combination, and the timing loop;
+//! * [`report`] — FLOPS/MFLOPS/GFLOPS reporting with matrix properties,
+//!   CSV and JSON output;
+//! * [`chart`] — ASCII bar rendering for the terminal;
+//! * [`studies`] — one driver per study of the paper's Chapter 5, each
+//!   regenerating the corresponding figure's data series.
+//!
+//! Two binaries front the library: `spmm-bench` (run one kernel, like the
+//! thesis's per-kernel binaries) and `run-studies` (regenerate every
+//! table/figure into `results/`).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod benchmark;
+pub mod chart;
+pub mod params;
+pub mod report;
+pub mod studies;
+pub mod svg;
+pub mod timer;
+
+pub use benchmark::{Backend, SpmmBenchmark, SuiteBenchmark, Variant};
+pub use params::Params;
+pub use report::Report;

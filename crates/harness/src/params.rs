@@ -1,0 +1,237 @@
+//! The suite's command-line parameters (§4.3 of the paper).
+
+use spmm_core::SparseFormat;
+use spmm_parallel::Schedule;
+
+use crate::benchmark::{Backend, Op, Variant};
+
+/// Parsed benchmark parameters.
+///
+/// Mirrors the thesis suite's flags: iteration count, thread count (or a
+/// thread list for the Study 3.1 sweep), BCSR block size, the k-loop bound
+/// and a debug flag — plus the selectors this implementation adds because
+/// one binary drives every kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Matrix: a suite name (`torso1`) or a path to a `.mtx` file.
+    pub matrix: String,
+    /// Sparse format to benchmark.
+    pub format: SparseFormat,
+    /// Execution backend.
+    pub backend: Backend,
+    /// Kernel variant (normal / transposed-B / const-K).
+    pub variant: Variant,
+    /// Operation: SpMM (the paper's) or SpMV (§6.3.4).
+    pub op: Op,
+    /// Times the calculation function is called (`-n`).
+    pub iterations: usize,
+    /// Thread count for parallel kernels (`-t`).
+    pub threads: usize,
+    /// Thread list for the best-thread-count feature (Study 3.1).
+    pub thread_list: Vec<usize>,
+    /// BCSR/BELL block size (`-b`).
+    pub block: usize,
+    /// k-loop bound (`-k`).
+    pub k: usize,
+    /// Loop schedule for parallel kernels.
+    pub schedule: Schedule,
+    /// Scale factor for generated suite matrices.
+    pub scale: f64,
+    /// RNG seed for generated matrices and B.
+    pub seed: u64,
+    /// Skip result verification (it can dominate tiny runs).
+    pub no_verify: bool,
+    /// Emit the report as CSV instead of human-readable text.
+    pub csv: bool,
+    /// Debug output flag.
+    pub debug: bool,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        // §5.1 defaults: k = 128, 32 threads, BCSR block size 4.
+        Params {
+            matrix: "bcsstk13".to_string(),
+            format: SparseFormat::Csr,
+            backend: Backend::Serial,
+            variant: Variant::Normal,
+            op: Op::Spmm,
+            iterations: 3,
+            threads: 32,
+            thread_list: Vec::new(),
+            block: 4,
+            k: 128,
+            schedule: Schedule::Static,
+            scale: 0.02,
+            seed: 42,
+            no_verify: false,
+            csv: false,
+            debug: false,
+        }
+    }
+}
+
+impl Params {
+    /// Parse from CLI-style arguments (without the program name).
+    pub fn parse(args: &[String]) -> Result<Params, String> {
+        let mut p = Params::default();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut value = |flag: &str| -> Result<&String, String> {
+                it.next().ok_or_else(|| format!("{flag} needs a value"))
+            };
+            match arg.as_str() {
+                "-m" | "--matrix" => p.matrix = value(arg)?.clone(),
+                "-f" | "--format" => {
+                    p.format = value(arg)?.parse().map_err(|e| format!("{e}"))?
+                }
+                "--backend" => {
+                    p.backend = value(arg)?.parse()?;
+                }
+                "--variant" => {
+                    p.variant = value(arg)?.parse()?;
+                }
+                "--op" => {
+                    p.op = value(arg)?.parse()?;
+                }
+                "-n" | "--iterations" => {
+                    p.iterations = parse_num(value(arg)?)?;
+                }
+                "-t" | "--threads" => {
+                    p.threads = parse_num(value(arg)?)?;
+                }
+                "--thread-list" => {
+                    p.thread_list = value(arg)?
+                        .split(',')
+                        .map(|s| parse_num(s.trim()))
+                        .collect::<Result<_, _>>()?;
+                }
+                "-b" | "--block" => {
+                    p.block = parse_num(value(arg)?)?;
+                }
+                "-k" => {
+                    p.k = parse_num(value(arg)?)?;
+                }
+                "--schedule" => {
+                    p.schedule = value(arg)?.parse()?;
+                }
+                "--scale" => {
+                    p.scale = value(arg)?
+                        .parse()
+                        .map_err(|e| format!("bad scale: {e}"))?;
+                }
+                "--seed" => {
+                    p.seed = value(arg)?.parse().map_err(|e| format!("bad seed: {e}"))?;
+                }
+                "--no-verify" => p.no_verify = true,
+                "--csv" => p.csv = true,
+                "-d" | "--debug" => p.debug = true,
+                "-h" | "--help" => return Err(Params::usage().to_string()),
+                other => return Err(format!("unknown flag `{other}`\n{}", Params::usage())),
+            }
+        }
+        if p.iterations == 0 {
+            return Err("-n must be at least 1".into());
+        }
+        if p.k == 0 {
+            return Err("-k must be at least 1".into());
+        }
+        Ok(p)
+    }
+
+    /// Usage text for `--help`.
+    pub fn usage() -> &'static str {
+        "spmm-bench: benchmark one SpMM kernel\n\
+         \n\
+         options:\n\
+           -m, --matrix <name|file.mtx>  suite matrix name or MatrixMarket path\n\
+           --list-matrices               print the 14-matrix suite and exit\n\
+           -f, --format <coo|csr|ell|bcsr|bell|csr5>\n\
+           --backend <serial|parallel|gpu-h100|gpu-a100>\n\
+           --variant <normal|transposed|fixed-k|cusparse>\n\
+           --op <spmm|spmv>              operation (default spmm)\n\
+           -n, --iterations <N>          calc() calls to average (default 3)\n\
+           -t, --threads <N>             parallel thread count (default 32)\n\
+           --thread-list <a,b,c>         try each count, report the best\n\
+           -b, --block <N>               BCSR/BELL block size (default 4)\n\
+           -k <N>                        k-loop bound (default 128)\n\
+           --schedule <static|dynamic[,c]|guided[,c]>\n\
+           --scale <f>                   suite matrix scale factor (default 0.02)\n\
+           --seed <N>                    RNG seed (default 42)\n\
+           --no-verify                   skip the COO verification pass\n\
+           --csv                         machine-readable output\n\
+           -d, --debug                   debug output"
+    }
+}
+
+fn parse_num(s: &str) -> Result<usize, String> {
+    s.parse::<usize>().map_err(|e| format!("bad number `{s}`: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Params, String> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        Params::parse(&owned)
+    }
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let p = Params::default();
+        assert_eq!(p.k, 128);
+        assert_eq!(p.threads, 32);
+        assert_eq!(p.block, 4);
+    }
+
+    #[test]
+    fn full_flag_set_parses() {
+        let p = parse(&[
+            "-m", "torso1", "-f", "bcsr", "--backend", "parallel", "-n", "5", "-t", "16",
+            "-b", "8", "-k", "256", "--schedule", "dynamic,32", "--scale", "0.1", "--seed",
+            "7", "--csv", "-d",
+        ])
+        .unwrap();
+        assert_eq!(p.matrix, "torso1");
+        assert_eq!(p.format, SparseFormat::Bcsr);
+        assert_eq!(p.backend, Backend::Parallel);
+        assert_eq!(p.iterations, 5);
+        assert_eq!(p.threads, 16);
+        assert_eq!(p.block, 8);
+        assert_eq!(p.k, 256);
+        assert_eq!(p.schedule, Schedule::Dynamic(32));
+        assert_eq!(p.scale, 0.1);
+        assert_eq!(p.seed, 7);
+        assert!(p.csv && p.debug);
+    }
+
+    #[test]
+    fn thread_list_parses() {
+        let p = parse(&["--thread-list", "2,4, 8,16"]).unwrap();
+        assert_eq!(p.thread_list, vec![2, 4, 8, 16]);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&["--format", "fancy"]).is_err());
+        assert!(parse(&["-n", "0"]).is_err());
+        assert!(parse(&["-k", "zero"]).is_err());
+        assert!(parse(&["--mystery"]).is_err());
+        assert!(parse(&["-t"]).is_err());
+    }
+
+    #[test]
+    fn backend_and_variant_parse() {
+        let p = parse(&["--backend", "gpu-a100", "--variant", "fixed-k"]).unwrap();
+        assert_eq!(p.backend, Backend::GpuA100);
+        assert_eq!(p.variant, Variant::FixedK);
+    }
+
+    #[test]
+    fn op_parses() {
+        assert_eq!(parse(&["--op", "spmv"]).unwrap().op, Op::Spmv);
+        assert_eq!(parse(&[]).unwrap().op, Op::Spmm);
+        assert!(parse(&["--op", "spgemm"]).is_err());
+    }
+}

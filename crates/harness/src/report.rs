@@ -1,0 +1,251 @@
+//! Benchmark reports: the suite's output metrics (§4.3).
+
+use std::fmt;
+use std::time::Duration;
+
+use serde::Serialize;
+
+use crate::benchmark::{SpmmBenchmark, SuiteBenchmark};
+use crate::params::Params;
+use crate::timer::{flops, Timings};
+
+/// Everything one benchmark run reports: runtime data, matrix data and
+/// parameter information, exactly the §4.3 metric set.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// Matrix name.
+    pub matrix: String,
+    /// Format name.
+    pub format: String,
+    /// Backend name.
+    pub backend: String,
+    /// Variant name.
+    pub variant: String,
+    /// k-loop bound.
+    pub k: usize,
+    /// Thread count (parallel backends).
+    pub threads: usize,
+    /// Block size (blocked formats).
+    pub block: usize,
+    /// Calc iterations averaged.
+    pub iterations: usize,
+
+    /// Matrix rows.
+    pub rows: usize,
+    /// Matrix columns.
+    pub cols: usize,
+    /// Nonzeros.
+    pub nnz: usize,
+    /// Max nonzeros in a row.
+    pub max_row_nnz: usize,
+    /// Mean nonzeros per row.
+    pub avg_row_nnz: f64,
+    /// Column ratio (max / avg).
+    pub column_ratio: f64,
+    /// Row-degree variance.
+    pub variance: f64,
+    /// Row-degree standard deviation.
+    pub std_dev: f64,
+
+    /// Formatting time in seconds.
+    pub format_time_s: f64,
+    /// Mean calculation time in seconds (simulated for GPU backends).
+    pub avg_calc_time_s: f64,
+    /// Total benchmark wall time in seconds.
+    pub total_time_s: f64,
+    /// Useful FLOPs per calc.
+    pub useful_flops: u64,
+    /// FLOPS against the average calc time.
+    pub flops: f64,
+    /// MFLOPS (the paper's reporting unit: higher is better).
+    pub mflops: f64,
+    /// GFLOPS.
+    pub gflops: f64,
+    /// True if the time came from the GPU simulator, not host wall-clock.
+    pub simulated: bool,
+    /// Verification outcome (`None` = skipped).
+    pub verified: Option<bool>,
+    /// Formatted representation payload bytes.
+    pub memory_footprint: usize,
+}
+
+impl Report {
+    /// Assemble a report from a finished run.
+    pub fn new(
+        bench: &SuiteBenchmark,
+        params: &Params,
+        format_time: Duration,
+        avg_calc: Duration,
+        timings: Timings,
+        simulated: bool,
+        verification: Option<Result<(), spmm_core::VerifyError>>,
+    ) -> Report {
+        let p = bench.properties();
+        let useful = bench.useful_flops();
+        let f = flops(useful, avg_calc);
+        Report {
+            matrix: params.matrix.clone(),
+            format: params.format.name().to_string(),
+            backend: params.backend.name().to_string(),
+            variant: params.variant.name().to_string(),
+            k: params.k,
+            threads: params.threads,
+            block: params.block,
+            iterations: params.iterations,
+            rows: p.rows,
+            cols: p.cols,
+            nnz: p.nnz,
+            max_row_nnz: p.max_row_nnz,
+            avg_row_nnz: p.avg_row_nnz,
+            column_ratio: p.column_ratio,
+            variance: p.variance,
+            std_dev: p.std_dev,
+            format_time_s: format_time.as_secs_f64(),
+            avg_calc_time_s: avg_calc.as_secs_f64(),
+            total_time_s: format_time.as_secs_f64() + timings.total.as_secs_f64(),
+            useful_flops: useful,
+            flops: f,
+            mflops: f / 1e6,
+            gflops: f / 1e9,
+            simulated,
+            verified: verification.map(|v| v.is_ok()),
+            memory_footprint: bench.data().map_or(0, |d| d.memory_footprint()),
+        }
+    }
+
+    /// CSV header matching [`Report::csv_row`].
+    pub fn csv_header() -> &'static str {
+        "matrix,format,backend,variant,k,threads,block,iterations,\
+         rows,cols,nnz,max,avg,ratio,variance,std_dev,\
+         format_time_s,avg_calc_time_s,total_time_s,mflops,simulated,verified,footprint_bytes"
+    }
+
+    /// One CSV row.
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{:.2},{:.2},{:.2},{:.2},{:.6},{:.6e},{:.6},{:.2},{},{},{}",
+            self.matrix,
+            self.format,
+            self.backend,
+            self.variant,
+            self.k,
+            self.threads,
+            self.block,
+            self.iterations,
+            self.rows,
+            self.cols,
+            self.nnz,
+            self.max_row_nnz,
+            self.avg_row_nnz,
+            self.column_ratio,
+            self.variance,
+            self.std_dev,
+            self.format_time_s,
+            self.avg_calc_time_s,
+            self.total_time_s,
+            self.mflops,
+            self.simulated,
+            self.verified.map_or("skipped".to_string(), |v| v.to_string()),
+            self.memory_footprint,
+        )
+    }
+
+    /// Serialize as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} / {} / {} / {} ==", self.matrix, self.format, self.backend, self.variant)?;
+        writeln!(
+            f,
+            "matrix:      {}x{}, nnz {}, max {}, avg {:.1}, ratio {:.1}, var {:.1}, std {:.1}",
+            self.rows,
+            self.cols,
+            self.nnz,
+            self.max_row_nnz,
+            self.avg_row_nnz,
+            self.column_ratio,
+            self.variance,
+            self.std_dev
+        )?;
+        writeln!(
+            f,
+            "params:      k={}, threads={}, block={}, iterations={}",
+            self.k, self.threads, self.block, self.iterations
+        )?;
+        writeln!(f, "format time: {:.6} s", self.format_time_s)?;
+        writeln!(
+            f,
+            "calc time:   {:.6} s avg{}",
+            self.avg_calc_time_s,
+            if self.simulated { " (simulated device time)" } else { "" }
+        )?;
+        writeln!(f, "total time:  {:.6} s", self.total_time_s)?;
+        writeln!(
+            f,
+            "performance: {:.0} FLOPS = {:.2} MFLOPS = {:.4} GFLOPS",
+            self.flops, self.mflops, self.gflops
+        )?;
+        writeln!(f, "footprint:   {} bytes", self.memory_footprint)?;
+        match self.verified {
+            Some(true) => writeln!(f, "verify:      PASSED"),
+            Some(false) => writeln!(f, "verify:      FAILED"),
+            None => writeln!(f, "verify:      skipped"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmark::run;
+
+    fn sample_report() -> Report {
+        let params = Params {
+            matrix: "dw4096".into(),
+            scale: 0.2,
+            k: 8,
+            iterations: 1,
+            ..Params::default()
+        };
+        let mut bench = SuiteBenchmark::from_params(params).unwrap();
+        run(&mut bench).unwrap()
+    }
+
+    #[test]
+    fn csv_row_matches_header_arity() {
+        let r = sample_report();
+        assert_eq!(
+            r.csv_row().split(',').count(),
+            Report::csv_header().split(',').count()
+        );
+    }
+
+    #[test]
+    fn json_serializes_and_contains_fields() {
+        let r = sample_report();
+        let j = r.to_json();
+        assert!(j.contains("\"matrix\""));
+        assert!(j.contains("\"mflops\""));
+        let parsed: serde_json::Value = serde_json::from_str(&j).unwrap();
+        assert_eq!(parsed["format"], "csr");
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let r = sample_report();
+        let text = r.to_string();
+        assert!(text.contains("MFLOPS"));
+        assert!(text.contains("verify:      PASSED"));
+    }
+
+    #[test]
+    fn flops_accounting_consistent() {
+        let r = sample_report();
+        assert!((r.gflops * 1000.0 - r.mflops).abs() < 1e-9);
+        assert_eq!(r.useful_flops, 2 * r.nnz as u64 * r.k as u64);
+    }
+}

@@ -1,0 +1,323 @@
+//! Drivers for the nine studies of the paper's evaluation (Chapter 5).
+//!
+//! Each driver regenerates the data series behind one or two figures of
+//! the paper. CPU-parallel and cross-architecture series come from the
+//! calibrated [`spmm_perfmodel`] machine model (this container has one
+//! core, not a 72-core Grace Hopper and a 96-thread Milan box); GPU series
+//! come from the [`spmm_gpusim`] simulator; Studies 8 and 9 — which probe
+//! access patterns and code generation, both observable on any host — are
+//! measured on the host for real. Every kernel invocation is still
+//! executed functionally and verified against the COO reference.
+
+pub mod study1;
+pub mod study10;
+pub mod study2;
+pub mod study3;
+pub mod study3_1;
+pub mod study4;
+pub mod study5;
+pub mod study6;
+pub mod study7;
+pub mod study8;
+pub mod study9;
+pub mod table51;
+
+use serde::Serialize;
+use spmm_core::{CooMatrix, MatrixProperties, SparseFormat};
+use spmm_kernels::FormatData;
+use spmm_perfmodel::{estimate_spmm_mflops, MachineProfile, SpmmWorkload};
+
+use crate::chart;
+
+/// Shared configuration for every study run.
+#[derive(Debug, Clone)]
+pub struct StudyContext {
+    /// Suite matrix scale factor.
+    pub scale: f64,
+    /// RNG seed for matrices and B.
+    pub seed: u64,
+    /// Default k (§5.1: 128).
+    pub k: usize,
+    /// Default parallel thread count (§5.1: 32).
+    pub threads: usize,
+    /// Default BCSR block size (§5.1: 4).
+    pub block: usize,
+}
+
+impl Default for StudyContext {
+    fn default() -> Self {
+        StudyContext { scale: 0.02, seed: 42, k: 128, threads: 32, block: 4 }
+    }
+}
+
+impl StudyContext {
+    /// A tiny configuration for unit tests and smoke runs.
+    pub fn quick() -> Self {
+        StudyContext { scale: 0.003, seed: 42, k: 16, threads: 4, block: 4 }
+    }
+}
+
+/// One of the paper's two evaluation platforms: a CPU model, a GPU device
+/// profile, and the health of its offload runtime.
+#[derive(Debug, Clone)]
+pub struct Arch {
+    /// Short label used in study ids ("arm"/"x86").
+    pub label: &'static str,
+    /// CPU machine model.
+    pub machine: MachineProfile,
+    /// Simulated GPU.
+    pub device: spmm_gpusim::DeviceProfile,
+    /// Offload runtime health (Aries's was broken, §5.1).
+    pub runtime: spmm_gpusim::FlakyRuntime,
+}
+
+impl Arch {
+    /// Grace Hopper: Arm CPU + H100 + healthy offload runtime.
+    pub fn arm() -> Self {
+        Arch {
+            label: "arm",
+            machine: MachineProfile::grace_hopper(),
+            device: spmm_gpusim::DeviceProfile::h100(),
+            runtime: spmm_gpusim::FlakyRuntime::healthy(),
+        }
+    }
+
+    /// Aries: Milan x86 + A100 + the flaky offload runtime.
+    pub fn x86() -> Self {
+        Arch {
+            label: "x86",
+            machine: MachineProfile::aries_milan(),
+            device: spmm_gpusim::DeviceProfile::a100(),
+            runtime: spmm_gpusim::FlakyRuntime::aries(),
+        }
+    }
+}
+
+/// One generated suite matrix with its metrics.
+pub struct MatrixEntry {
+    /// SuiteSparse name.
+    pub name: String,
+    /// The generated matrix.
+    pub coo: CooMatrix<f64>,
+    /// Its Table 5.1 metric set.
+    pub props: MatrixProperties,
+    /// `full_rows / replica_rows`: the machine model is analytic, so the
+    /// modeled series scale the replica's measured structure back to the
+    /// paper's full-size matrix (otherwise fork/join overhead dominates
+    /// laptop-scale replicas and every scaling shape flattens).
+    pub scale_up: f64,
+}
+
+/// Generate the full 14-matrix suite for a context.
+pub fn load_suite(ctx: &StudyContext) -> Vec<MatrixEntry> {
+    spmm_matgen::full_suite()
+        .into_iter()
+        .map(|spec| {
+            let coo = spec.generate(ctx.scale, ctx.seed);
+            let props = coo.properties();
+            let scale_up = spec.rows as f64 / props.rows.max(1) as f64;
+            MatrixEntry { name: spec.name.to_string(), coo, props, scale_up }
+        })
+        .collect()
+}
+
+/// Describe a formatted matrix for the machine model, scaled back up to
+/// the full-size original (per-row structure — avg, max, fill — is
+/// preserved by the generators, so counts scale linearly).
+pub fn workload(
+    data: &FormatData<f64>,
+    entry: &MatrixEntry,
+    block: usize,
+    k: usize,
+) -> SpmmWorkload {
+    let f = entry.scale_up.max(1.0);
+    let scaled = |n: usize| (n as f64 * f) as usize;
+    // The locality window comes from the matrix's structure class, which
+    // is ground truth for generated replicas: a banded/FEM matrix revisits
+    // a band of B rows about as wide as its fullest row regardless of the
+    // matrix size, while a heavy-row matrix scatters across all of B. For
+    // externally loaded matrices (no spec) fall back to the replica's own
+    // bandwidth.
+    let window = match spmm_matgen::by_name(&entry.name).map(|s| s.structure) {
+        Some(spmm_matgen::Structure::Banded { .. }) => 2 * entry.props.max_row_nnz,
+        Some(spmm_matgen::Structure::HeavyRows { .. }) => scaled(entry.props.cols),
+        None => entry.props.bandwidth.max(1),
+    };
+    SpmmWorkload::new(
+        data.format(),
+        scaled(data.rows()),
+        scaled(data.cols()),
+        scaled(data.nnz()),
+        scaled(data.stored_entries()),
+        entry.props.max_row_nnz,
+        scaled(data.memory_footprint()),
+        block,
+        k,
+    )
+    .with_col_window(window)
+}
+
+/// Modelled MFLOPS of one (machine, format, matrix, k, threads) point.
+pub fn model_mflops(
+    machine: &MachineProfile,
+    data: &FormatData<f64>,
+    entry: &MatrixEntry,
+    block: usize,
+    k: usize,
+    threads: usize,
+) -> f64 {
+    estimate_spmm_mflops(machine, &workload(data, entry, block, k), threads)
+}
+
+/// One plotted series: a label and one value per matrix.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    /// Legend label (e.g. "csr/omp").
+    pub label: String,
+    /// One value per row of the study (NaN = missing, like the paper's
+    /// dropped Aries GPU results). Serialized as null.
+    pub values: Vec<f64>,
+}
+
+/// The regenerated data behind one figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct StudyResult {
+    /// Study identifier ("study1-arm").
+    pub id: String,
+    /// Paper figure it regenerates ("Figure 5.1").
+    pub figure: String,
+    /// Chart title.
+    pub title: String,
+    /// Row labels (usually matrix names).
+    pub rows: Vec<String>,
+    /// The series.
+    pub series: Vec<Series>,
+    /// Unit of the values.
+    pub unit: String,
+}
+
+impl StudyResult {
+    /// Render as CSV: `row,series1,series2,...`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str("matrix");
+        for s in &self.series {
+            out.push(',');
+            out.push_str(&s.label);
+        }
+        out.push('\n');
+        for (r, row) in self.rows.iter().enumerate() {
+            out.push_str(row);
+            for s in &self.series {
+                let v = s.values.get(r).copied().unwrap_or(f64::NAN);
+                if v.is_finite() {
+                    out.push_str(&format!(",{v:.3}"));
+                } else {
+                    out.push(',');
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as a terminal bar chart.
+    pub fn render(&self) -> String {
+        let labels: Vec<String> = self.series.iter().map(|s| s.label.clone()).collect();
+        let values: Vec<Vec<f64>> = self.series.iter().map(|s| s.values.clone()).collect();
+        chart::grouped_bars(
+            &format!("{} ({})", self.title, self.figure),
+            &self.rows,
+            &labels,
+            &values,
+            &self.unit,
+        )
+    }
+
+    /// The winning series label per row (used by Study 2's "best form of
+    /// each format" view). Rows with no finite value yield `None`.
+    pub fn winners(&self) -> Vec<Option<&str>> {
+        (0..self.rows.len())
+            .map(|r| {
+                self.series
+                    .iter()
+                    .filter_map(|s| {
+                        let v = s.values.get(r).copied().unwrap_or(f64::NAN);
+                        v.is_finite().then_some((s.label.as_str(), v))
+                    })
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
+                    .map(|(label, _)| label)
+            })
+            .collect()
+    }
+}
+
+/// Format a matrix into every paper format once (block size from ctx).
+pub fn format_all(
+    entry: &MatrixEntry,
+    block: usize,
+) -> Vec<(SparseFormat, FormatData<f64>)> {
+    SparseFormat::PAPER
+        .iter()
+        .map(|&f| {
+            (
+                f,
+                FormatData::from_coo(f, &entry.coo, block)
+                    .expect("paper formats always construct"),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_suite_yields_fourteen() {
+        let suite = load_suite(&StudyContext::quick());
+        assert_eq!(suite.len(), 14);
+        assert!(suite.iter().all(|m| m.coo.nnz() > 0));
+    }
+
+    #[test]
+    fn study_result_csv_and_winners() {
+        let r = StudyResult {
+            id: "t".into(),
+            figure: "Figure 0".into(),
+            title: "T".into(),
+            rows: vec!["m1".into(), "m2".into()],
+            series: vec![
+                Series { label: "a".into(), values: vec![1.0, f64::NAN] },
+                Series { label: "b".into(), values: vec![2.0, 3.0] },
+            ],
+            unit: "MFLOPS".into(),
+        };
+        let csv = r.to_csv();
+        assert!(csv.starts_with("matrix,a,b\n"));
+        assert!(csv.contains("m1,1.000,2.000"));
+        assert!(csv.contains("m2,,3.000"));
+        assert_eq!(r.winners(), vec![Some("b"), Some("b")]);
+        assert!(r.render().contains("Figure 0"));
+    }
+
+    #[test]
+    fn format_all_covers_paper_formats() {
+        let suite = load_suite(&StudyContext::quick());
+        let formatted = format_all(&suite[2], 4);
+        assert_eq!(formatted.len(), 4);
+        assert_eq!(formatted[0].0, SparseFormat::Coo);
+        assert_eq!(formatted[3].0, SparseFormat::Bcsr);
+    }
+
+    #[test]
+    fn model_mflops_positive_for_real_workloads() {
+        let suite = load_suite(&StudyContext::quick());
+        let entry = &suite[0];
+        let machine = MachineProfile::grace_hopper();
+        for (_, data) in format_all(entry, 4) {
+            let m = model_mflops(&machine, &data, entry, 4, 16, 8);
+            assert!(m > 0.0);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Study 10 (extension, beyond the paper): ELL vs SELL-C-σ vs HYB.
+//!
+//! The paper's §6.3.1 names "additional formats ... proposed and evaluated
+//! in recent literature with promising results" as its next step. This
+//! study runs that comparison for the two padding-repair formats this
+//! reproduction adds: SELL-C-σ (sorting-based) and HYB (spill-based),
+//! against plain ELLPACK — host-measured, like Studies 8 and 9, because
+//! padding burns real cycles on any machine.
+
+use spmm_core::{DenseMatrix, HybMatrix, SellMatrix, SparseMatrix};
+
+use super::{MatrixEntry, Series, StudyContext, StudyResult};
+use crate::timer::time_repeated;
+
+/// Measured serial MFLOPS of ELL, SELL-C-σ and HYB per matrix, plus each
+/// format's stored-slot blowup (`stored / nnz`) as companion series.
+pub fn study10(ctx: &StudyContext, suite: &[MatrixEntry]) -> StudyResult {
+    let iterations = 2;
+    let mut mflops: Vec<Series> = ["ell", "sell", "hyb"]
+        .iter()
+        .map(|f| Series { label: format!("{f}/serial"), values: Vec::new() })
+        .collect();
+    let mut blowup: Vec<Series> = ["ell", "sell", "hyb"]
+        .iter()
+        .map(|f| Series { label: format!("{f}/stored-per-nnz"), values: Vec::new() })
+        .collect();
+
+    for entry in suite {
+        let b = spmm_matgen::gen::dense_b(entry.coo.cols(), ctx.k, ctx.seed ^ 0xB);
+        let reference = entry.coo.spmm_reference_k(&b, ctx.k);
+        let useful = spmm_kernels::spmm_flops(entry.coo.nnz(), ctx.k) as f64;
+        let nnz = entry.coo.nnz().max(1) as f64;
+        let mut c = DenseMatrix::zeros(entry.coo.rows(), ctx.k);
+
+        let ell = spmm_core::EllMatrix::from_coo(&entry.coo);
+        let t = time_repeated(iterations, || {
+            spmm_kernels::serial::ell_spmm(&ell, &b, ctx.k, &mut c)
+        });
+        assert!(spmm_core::max_rel_error(&c, &reference) < 1e-9, "{} ell", entry.name);
+        mflops[0].values.push(useful / t.avg.as_secs_f64() / 1e6);
+        blowup[0].values.push(ell.stored_entries() as f64 / nnz);
+
+        let sell = SellMatrix::from_coo(&entry.coo, 8, 64).expect("valid SELL params");
+        let t = time_repeated(iterations, || {
+            spmm_kernels::extended::sell_spmm(&sell, &b, ctx.k, &mut c)
+        });
+        assert!(spmm_core::max_rel_error(&c, &reference) < 1e-9, "{} sell", entry.name);
+        mflops[1].values.push(useful / t.avg.as_secs_f64() / 1e6);
+        blowup[1].values.push(sell.stored_entries() as f64 / nnz);
+
+        let hyb = HybMatrix::from_coo(&entry.coo);
+        let t = time_repeated(iterations, || {
+            spmm_kernels::extended::hyb_spmm(&hyb, &b, ctx.k, &mut c)
+        });
+        assert!(spmm_core::max_rel_error(&c, &reference) < 1e-9, "{} hyb", entry.name);
+        mflops[2].values.push(useful / t.avg.as_secs_f64() / 1e6);
+        blowup[2].values.push(hyb.stored_entries() as f64 / nnz);
+    }
+
+    let mut series = mflops;
+    series.extend(blowup);
+    StudyResult {
+        id: "study10-extensions".to_string(),
+        figure: "Extension (no paper figure)".to_string(),
+        title: "Study 10: ELL vs SELL-C-σ vs HYB (host-measured, serial)".to_string(),
+        rows: suite.iter().map(|m| m.name.clone()).collect(),
+        series,
+        unit: "MFLOPS / slots-per-nnz".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::studies::load_suite;
+
+    #[test]
+    fn padding_repair_formats_beat_ell_on_torso1() {
+        // torso1 is the matrix ELL dies on (column ratio ≈ 30-44); both
+        // repair strategies must store far fewer slots and compute faster.
+        let ctx = StudyContext { scale: 0.02, k: 32, ..StudyContext::quick() };
+        let suite: Vec<_> = load_suite(&ctx)
+            .into_iter()
+            .filter(|m| m.name == "torso1")
+            .collect();
+        let r = study10(&ctx, &suite);
+        let at = |label: &str| {
+            r.series
+                .iter()
+                .find(|s| s.label == label)
+                .unwrap_or_else(|| panic!("{label}"))
+                .values[0]
+        };
+        assert!(at("sell/stored-per-nnz") < at("ell/stored-per-nnz") / 2.0);
+        assert!(at("hyb/stored-per-nnz") < at("ell/stored-per-nnz") / 2.0);
+        assert!(at("sell/serial") > at("ell/serial"), "sell should beat ell on torso1");
+        assert!(at("hyb/serial") > at("ell/serial"), "hyb should beat ell on torso1");
+    }
+
+    #[test]
+    fn grid_is_complete_and_blowups_sane() {
+        let ctx = StudyContext::quick();
+        let suite: Vec<_> = load_suite(&ctx).into_iter().take(4).collect();
+        let r = study10(&ctx, &suite);
+        assert_eq!(r.series.len(), 6);
+        for s in &r.series {
+            assert_eq!(s.values.len(), 4, "{}", s.label);
+        }
+        // stored/nnz is >= ~1 for every format.
+        for s in r.series.iter().filter(|s| s.label.contains("stored")) {
+            assert!(s.values.iter().all(|&v| v >= 0.99), "{}: {:?}", s.label, s.values);
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Study 2 (Figures 5.3, 5.4): the best backend for each format.
+
+use super::{Series, StudyResult};
+
+/// Per-format winners: for each format, one entry per matrix naming the
+/// winning series ("csr/gpu"), or `None` if every backend failed.
+pub type Winners = Vec<(String, Vec<Option<String>>)>;
+
+/// Derive the "best form of each kernel" view from a Study 1 result: for
+/// each format, the maximum over its serial/omp/gpu series, plus which
+/// backend won (the quantity §5.4 discusses).
+pub fn study2(study1: &StudyResult) -> (StudyResult, Winners) {
+    // Group study-1 series by format prefix ("csr/omp" -> "csr").
+    let mut formats: Vec<String> = Vec::new();
+    for s in &study1.series {
+        let fmt = s.label.split('/').next().unwrap_or(&s.label).to_string();
+        if !formats.contains(&fmt) {
+            formats.push(fmt);
+        }
+    }
+
+    let mut series = Vec::new();
+    let mut winners = Vec::new();
+    for fmt in &formats {
+        let members: Vec<&Series> = study1
+            .series
+            .iter()
+            .filter(|s| s.label.split('/').next() == Some(fmt))
+            .collect();
+        let mut best = Vec::with_capacity(study1.rows.len());
+        let mut who = Vec::with_capacity(study1.rows.len());
+        for r in 0..study1.rows.len() {
+            let winner = members
+                .iter()
+                .filter_map(|s| {
+                    let v = s.values.get(r).copied().unwrap_or(f64::NAN);
+                    v.is_finite().then_some((s.label.clone(), v))
+                })
+                .max_by(|a, b| a.1.total_cmp(&b.1));
+            match winner {
+                Some((label, v)) => {
+                    best.push(v);
+                    who.push(Some(label));
+                }
+                None => {
+                    best.push(f64::NAN);
+                    who.push(None);
+                }
+            }
+        }
+        series.push(Series { label: format!("{fmt}/best"), values: best });
+        winners.push((fmt.clone(), who));
+    }
+
+    let arch = study1.id.strip_prefix("study1-").unwrap_or("arm");
+    (
+        StudyResult {
+            id: format!("study2-{arch}"),
+            figure: if arch == "arm" { "Figure 5.3" } else { "Figure 5.4" }.to_string(),
+            title: format!("Study 2: Best Form of Each Format — {arch}"),
+            rows: study1.rows.clone(),
+            series,
+            unit: study1.unit.clone(),
+        },
+        winners,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::studies::{load_suite, study1::study1, Arch, StudyContext};
+
+    #[test]
+    fn best_is_max_of_backends() {
+        let ctx = StudyContext::quick();
+        let suite = load_suite(&ctx);
+        let s1 = study1(&ctx, &Arch::arm(), &suite);
+        let (s2, winners) = study2(&s1);
+        assert_eq!(s2.series.len(), 4);
+        assert_eq!(winners.len(), 4);
+        // Each best value equals the max of the format's three backends.
+        for (fi, s) in s2.series.iter().enumerate() {
+            for r in 0..s2.rows.len() {
+                let max = (0..3)
+                    .map(|b| s1.series[fi * 3 + b].values[r])
+                    .filter(|v| v.is_finite())
+                    .fold(f64::NEG_INFINITY, f64::max);
+                assert_eq!(s.values[r], max, "{} row {r}", s.label);
+            }
+        }
+        // On Arm, the serial backend never wins in the model (§5.4: wins
+        // split between CPU parallelism and the GPU).
+        for (_, who) in &winners {
+            for w in who.iter().flatten() {
+                assert!(!w.ends_with("/serial"), "serial won: {w}");
+            }
+        }
+    }
+}

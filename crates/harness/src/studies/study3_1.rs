@@ -1,0 +1,101 @@
+//! Study 3.1 (Figures 5.7, 5.8): the best thread count per format.
+
+use super::{model_mflops, Arch, MatrixEntry, Series, StudyContext, StudyResult};
+
+/// The thread list of §5.5.1 (72 chosen as the cross-machine upper bound).
+pub const THREAD_LIST: [usize; 8] = [2, 4, 8, 16, 32, 48, 64, 72];
+
+/// For each (format, matrix): the thread count from [`THREAD_LIST`] with
+/// the highest modelled MFLOPS — the suite's best-thread-count feature.
+pub fn study3_1(ctx: &StudyContext, arch: &Arch, suite: &[MatrixEntry]) -> StudyResult {
+    let mut series: Vec<Series> = spmm_core::SparseFormat::PAPER
+        .iter()
+        .map(|f| Series { label: f.to_string(), values: Vec::new() })
+        .collect();
+    for entry in suite {
+        for (fi, (_, data)) in super::format_all(entry, ctx.block).into_iter().enumerate() {
+            let best = THREAD_LIST
+                .iter()
+                .map(|&t| {
+                    (t, model_mflops(&arch.machine, &data, entry, ctx.block, ctx.k, t))
+                })
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .map(|(t, _)| t)
+                .unwrap_or(1);
+            series[fi].values.push(best as f64);
+        }
+    }
+    StudyResult {
+        id: format!("study3.1-{}", arch.label),
+        figure: if arch.label == "arm" { "Figure 5.7" } else { "Figure 5.8" }.to_string(),
+        title: format!("Study 3.1: Best Thread Count — {}", arch.machine.name),
+        rows: suite.iter().map(|m| m.name.clone()).collect(),
+        series,
+        unit: "threads".to_string(),
+    }
+}
+
+/// How many matrices of each format chose the top thread count (72) — the
+/// evaluation statistic of §5.5.1.
+pub fn count_top_thread_wins(result: &StudyResult) -> Vec<(String, usize)> {
+    result
+        .series
+        .iter()
+        .map(|s| {
+            (
+                s.label.clone(),
+                s.values.iter().filter(|&&v| v == 72.0).count(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::studies::load_suite;
+
+    #[test]
+    fn arm_favours_72_x86_favours_physical_cores() {
+        let ctx = StudyContext::quick();
+        let suite = load_suite(&ctx);
+        let arm = study3_1(&ctx, &Arch::arm(), &suite);
+        let x86 = study3_1(&ctx, &Arch::x86(), &suite);
+
+        let arm_top: usize = count_top_thread_wins(&arm).iter().map(|(_, c)| c).sum();
+        let x86_top: usize = count_top_thread_wins(&x86).iter().map(|(_, c)| c).sum();
+        // §5.5.1: on Arm most matrices peak at 72 threads; on Aries (48
+        // physical cores) results trend toward fewer.
+        assert!(arm_top > x86_top, "arm {arm_top} vs x86 {x86_top}");
+
+        // Every chosen count is from the list.
+        for s in arm.series.iter().chain(&x86.series) {
+            assert!(s.values.iter().all(|v| THREAD_LIST.contains(&(*v as usize))));
+        }
+    }
+
+    #[test]
+    fn x86_blocked_formats_use_smt_more() {
+        // §5.5.1: "BCSR in particular seemed to do the best with
+        // hyperthreading" — thread counts above the 48 physical cores.
+        let ctx = StudyContext::quick();
+        let suite = load_suite(&ctx);
+        let x86 = study3_1(&ctx, &Arch::x86(), &suite);
+        let over_phys = |label: &str| {
+            x86.series
+                .iter()
+                .find(|s| s.label == label)
+                .unwrap()
+                .values
+                .iter()
+                .filter(|&&v| v > 48.0)
+                .count()
+        };
+        assert!(
+            over_phys("bcsr") >= over_phys("coo"),
+            "bcsr {} vs coo {}",
+            over_phys("bcsr"),
+            over_phys("coo")
+        );
+    }
+}

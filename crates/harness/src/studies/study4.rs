@@ -1,0 +1,85 @@
+//! Study 4 (Figures 5.9, 5.10): the impact of the k-loop bound.
+
+use super::{model_mflops, Arch, MatrixEntry, Series, StudyContext, StudyResult};
+
+/// The k values §5.6 sweeps (1028 sic, as printed in the paper).
+pub const K_VALUES: [usize; 7] = [8, 16, 64, 128, 256, 512, 1028];
+
+/// Regenerate Figure 5.9 (`arm`) or 5.10 (`x86`): parallel MFLOPS per
+/// format per matrix across the k sweep.
+pub fn study4(ctx: &StudyContext, arch: &Arch, suite: &[MatrixEntry]) -> StudyResult {
+    let mut series: Vec<Series> = Vec::new();
+    for f in spmm_core::SparseFormat::PAPER {
+        for k in K_VALUES {
+            series.push(Series { label: format!("{f}/k{k}"), values: Vec::new() });
+        }
+    }
+    for entry in suite {
+        for (fi, (_, data)) in super::format_all(entry, ctx.block).into_iter().enumerate() {
+            for (ki, &k) in K_VALUES.iter().enumerate() {
+                let v = model_mflops(&arch.machine, &data, entry, ctx.block, k, ctx.threads);
+                series[fi * K_VALUES.len() + ki].values.push(v);
+            }
+        }
+    }
+    StudyResult {
+        id: format!("study4-{}", arch.label),
+        figure: if arch.label == "arm" { "Figure 5.9" } else { "Figure 5.10" }.to_string(),
+        title: format!("Study 4: Setting -k — {}", arch.machine.name),
+        rows: suite.iter().map(|m| m.name.clone()).collect(),
+        series,
+        unit: "MFLOPS".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::studies::load_suite;
+
+    fn best_k_per_cell(r: &StudyResult, fi: usize, row: usize) -> usize {
+        K_VALUES
+            .iter()
+            .enumerate()
+            .max_by(|a, b| {
+                r.series[fi * K_VALUES.len() + a.0].values[row]
+                    .total_cmp(&r.series[fi * K_VALUES.len() + b.0].values[row])
+            })
+            .map(|(_, &k)| k)
+            .unwrap()
+    }
+
+    #[test]
+    fn higher_k_wins_on_arm() {
+        // §5.6: "on Arm ... a higher value of k seemed to lead to more
+        // performance" (no cap observed).
+        let ctx = StudyContext::quick();
+        let suite = load_suite(&ctx);
+        let r = study4(&ctx, &Arch::arm(), &suite);
+        let mut high_k_wins = 0;
+        let mut total = 0;
+        for fi in 0..4 {
+            for row in 0..r.rows.len() {
+                if best_k_per_cell(&r, fi, row) >= 512 {
+                    high_k_wins += 1;
+                }
+                total += 1;
+            }
+        }
+        assert!(high_k_wins * 10 >= total * 7, "{high_k_wins}/{total}");
+    }
+
+    #[test]
+    fn mflops_rise_from_k8_to_k128() {
+        let ctx = StudyContext::quick();
+        let suite = load_suite(&ctx);
+        for arch in [Arch::arm(), Arch::x86()] {
+            let r = study4(&ctx, &arch, &suite);
+            // csr series: index fi=1.
+            let k8 = &r.series[K_VALUES.len()].values; // csr/k8
+            let k128 = &r.series[K_VALUES.len() + 3].values; // csr/k128
+            let improved = k8.iter().zip(k128).filter(|(a, b)| b > a).count();
+            assert!(improved * 10 >= k8.len() * 8, "{}: {improved}/{}", arch.label, k8.len());
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Study 5 (Figures 5.11, 5.12): BCSR block-size sweep.
+
+use spmm_core::SparseFormat;
+use spmm_kernels::FormatData;
+
+use super::{model_mflops, study1::gpu_mflops, Arch, MatrixEntry, Series, StudyContext, StudyResult};
+
+/// The block sizes §5.7 sweeps.
+pub const BLOCK_SIZES: [usize; 3] = [2, 4, 16];
+
+/// Regenerate Figure 5.11 (`arm`) or 5.12 (`x86`): BCSR at block sizes
+/// 2/4/16 across serial, parallel and GPU backends.
+pub fn study5(ctx: &StudyContext, arch: &Arch, suite: &[MatrixEntry]) -> StudyResult {
+    let backends = ["serial", "omp", "gpu"];
+    let mut series: Vec<Series> = Vec::new();
+    for b in BLOCK_SIZES {
+        for be in backends {
+            series.push(Series { label: format!("b{b}/{be}"), values: Vec::new() });
+        }
+    }
+
+    for entry in suite {
+        let b_dense = spmm_matgen::gen::dense_b(entry.coo.cols(), ctx.k, ctx.seed ^ 0xB);
+        let reference = entry.coo.spmm_reference_k(&b_dense, ctx.k);
+        for (bi, &block) in BLOCK_SIZES.iter().enumerate() {
+            let data = FormatData::from_coo(SparseFormat::Bcsr, &entry.coo, block)
+                .expect("BCSR always constructs");
+            let serial = model_mflops(&arch.machine, &data, entry, block, ctx.k, 1);
+            let omp = model_mflops(&arch.machine, &data, entry, block, ctx.k, ctx.threads);
+            let gpu = gpu_mflops(arch, entry, &data, &b_dense, ctx.k, &reference)
+                .unwrap_or(f64::NAN);
+            series[bi * 3].values.push(serial);
+            series[bi * 3 + 1].values.push(omp);
+            series[bi * 3 + 2].values.push(gpu);
+        }
+    }
+
+    StudyResult {
+        id: format!("study5-{}", arch.label),
+        figure: if arch.label == "arm" { "Figure 5.11" } else { "Figure 5.12" }.to_string(),
+        title: format!("Study 5: BCSR — {}", arch.machine.name),
+        rows: suite.iter().map(|m| m.name.clone()).collect(),
+        series,
+        unit: "MFLOPS".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::studies::load_suite;
+
+    #[test]
+    fn serial_degrades_as_blocks_grow() {
+        // §5.7: "the serial versions did increasingly worse as the block
+        // size got bigger" — block-16 fill-in multiplies the executed work.
+        let ctx = StudyContext::quick();
+        let suite = load_suite(&ctx);
+        let r = study5(&ctx, &Arch::arm(), &suite);
+        let b2_serial = &r.series[0].values;
+        let b16_serial = &r.series[6].values;
+        let worse = b2_serial.iter().zip(b16_serial).filter(|(a, b)| b < a).count();
+        assert!(worse * 10 >= b2_serial.len() * 8, "{worse}/{}", b2_serial.len());
+    }
+
+    #[test]
+    fn smaller_blocks_usually_win_in_parallel_too() {
+        let ctx = StudyContext::quick();
+        let suite = load_suite(&ctx);
+        let r = study5(&ctx, &Arch::x86(), &suite);
+        let b2_omp = &r.series[1].values;
+        let b16_omp = &r.series[7].values;
+        let smaller_wins = b2_omp.iter().zip(b16_omp).filter(|(a, b)| a >= b).count();
+        assert!(smaller_wins * 2 >= b2_omp.len(), "{smaller_wins}/{}", b2_omp.len());
+    }
+
+    #[test]
+    fn grid_is_complete() {
+        let ctx = StudyContext::quick();
+        let suite = load_suite(&ctx);
+        let r = study5(&ctx, &Arch::arm(), &suite);
+        assert_eq!(r.series.len(), 9);
+        for s in &r.series {
+            assert_eq!(s.values.len(), suite.len());
+        }
+    }
+}

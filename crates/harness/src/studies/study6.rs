@@ -1,0 +1,118 @@
+//! Study 6 (Figures 5.13, 5.14): architecture comparison (serial).
+
+use spmm_core::SparseFormat;
+use spmm_kernels::FormatData;
+
+use super::{model_mflops, Arch, MatrixEntry, Series, StudyContext, StudyResult};
+
+/// Regenerate Figure 5.13: all four formats, serial, Arm vs x86.
+pub fn study6_formats(ctx: &StudyContext, suite: &[MatrixEntry]) -> StudyResult {
+    let arches = [Arch::arm(), Arch::x86()];
+    let mut series: Vec<Series> = Vec::new();
+    for f in SparseFormat::PAPER {
+        for a in &arches {
+            series.push(Series { label: format!("{f}/{}", a.label), values: Vec::new() });
+        }
+    }
+    for entry in suite {
+        for (fi, (_, data)) in super::format_all(entry, ctx.block).into_iter().enumerate() {
+            for (ai, arch) in arches.iter().enumerate() {
+                let v = model_mflops(&arch.machine, &data, entry, ctx.block, ctx.k, 1);
+                series[fi * 2 + ai].values.push(v);
+            }
+        }
+    }
+    StudyResult {
+        id: "study6-formats".to_string(),
+        figure: "Figure 5.13".to_string(),
+        title: "Study 6: All Formats (Arm vs x86, serial)".to_string(),
+        rows: suite.iter().map(|m| m.name.clone()).collect(),
+        series,
+        unit: "MFLOPS".to_string(),
+    }
+}
+
+/// Regenerate Figure 5.14: BCSR at block sizes 2/4/16, Arm vs x86, serial.
+pub fn study6_bcsr(ctx: &StudyContext, suite: &[MatrixEntry]) -> StudyResult {
+    let arches = [Arch::arm(), Arch::x86()];
+    let blocks = [2usize, 4, 16];
+    let mut series: Vec<Series> = Vec::new();
+    for b in blocks {
+        for a in &arches {
+            series.push(Series { label: format!("bcsr{b}/{}", a.label), values: Vec::new() });
+        }
+    }
+    for entry in suite {
+        for (bi, &block) in blocks.iter().enumerate() {
+            let data = FormatData::from_coo(SparseFormat::Bcsr, &entry.coo, block)
+                .expect("BCSR always constructs");
+            for (ai, arch) in arches.iter().enumerate() {
+                let v = model_mflops(&arch.machine, &data, entry, block, ctx.k, 1);
+                series[bi * 2 + ai].values.push(v);
+            }
+        }
+    }
+    StudyResult {
+        id: "study6-bcsr".to_string(),
+        figure: "Figure 5.14".to_string(),
+        title: "Study 6: BCSR Block Sizes 2, 4, 16 (Arm vs x86, serial)".to_string(),
+        rows: suite.iter().map(|m| m.name.clone()).collect(),
+        series,
+        unit: "MFLOPS".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::studies::load_suite;
+
+    #[test]
+    fn aries_wins_serial_for_general_formats() {
+        // §5.8: "For COO, CSR, and ELLPACK, the Aries versions all
+        // performed better" per-core.
+        let ctx = StudyContext::quick();
+        let suite = load_suite(&ctx);
+        let r = study6_formats(&ctx, &suite);
+        for fi in 0..3 {
+            // coo, csr, ell
+            let arm = &r.series[fi * 2].values;
+            let x86 = &r.series[fi * 2 + 1].values;
+            let x86_wins = arm.iter().zip(x86).filter(|(a, x)| x > a).count();
+            assert!(
+                x86_wins * 10 >= arm.len() * 7,
+                "format {fi}: x86 won {x86_wins}/{}",
+                arm.len()
+            );
+        }
+    }
+
+    #[test]
+    fn bcsr_gap_narrows_or_flips() {
+        // §5.8: BCSR was the one format where Arm held its own; at minimum
+        // the x86 advantage must shrink relative to CSR's.
+        let ctx = StudyContext::quick();
+        let suite = load_suite(&ctx);
+        let formats = study6_formats(&ctx, &suite);
+        let bcsr = study6_bcsr(&ctx, &suite);
+        let ratio = |arm: &[f64], x86: &[f64]| -> f64 {
+            let a: f64 = arm.iter().sum();
+            let x: f64 = x86.iter().sum();
+            x / a
+        };
+        let csr_ratio = ratio(&formats.series[2].values, &formats.series[3].values);
+        let bcsr4_ratio = ratio(&bcsr.series[2].values, &bcsr.series[3].values);
+        assert!(
+            bcsr4_ratio < csr_ratio * 1.05,
+            "bcsr x86/arm {bcsr4_ratio} should not exceed csr's {csr_ratio}"
+        );
+    }
+
+    #[test]
+    fn grids_complete() {
+        let ctx = StudyContext::quick();
+        let suite = load_suite(&ctx);
+        assert_eq!(study6_formats(&ctx, &suite).series.len(), 8);
+        assert_eq!(study6_bcsr(&ctx, &suite).series.len(), 6);
+    }
+}

@@ -1,0 +1,124 @@
+//! Study 8 (Figures 5.17, 5.18): transposing B.
+//!
+//! This study probes a memory access pattern, which is observable on any
+//! host, so unlike the scaling studies it is *measured* (wall-clock on
+//! this machine), not modelled. Only the parallel kernels are compared,
+//! as in the paper (§5.10).
+
+use spmm_core::DenseMatrix;
+use spmm_parallel::{global_pool, Schedule};
+
+use super::{format_all, MatrixEntry, Series, StudyContext, StudyResult};
+use crate::timer::time_repeated;
+
+/// Measured-MFLOPS comparison of normal vs transposed-B parallel kernels.
+/// `label` distinguishes the nominal architecture in the output; the
+/// measurements themselves are host wall-clock either way.
+pub fn study8(ctx: &StudyContext, label: &str, suite: &[MatrixEntry]) -> StudyResult {
+    let pool = global_pool();
+    let threads = ctx.threads.min(4); // measured on the host: stay near core count
+    let iterations = 2;
+
+    let mut series: Vec<Series> = Vec::new();
+    for f in spmm_core::SparseFormat::PAPER {
+        series.push(Series { label: format!("{f}/normal"), values: Vec::new() });
+        series.push(Series { label: format!("{f}/transposed"), values: Vec::new() });
+    }
+
+    for entry in suite {
+        let b = spmm_matgen::gen::dense_b(entry.coo.cols(), ctx.k, ctx.seed ^ 0xB);
+        let bt = b.transposed();
+        let reference = entry.coo.spmm_reference_k(&b, ctx.k);
+        let useful = spmm_kernels::spmm_flops(entry.coo.nnz(), ctx.k);
+        for (fi, (_, data)) in format_all(entry, ctx.block).into_iter().enumerate() {
+            let mut c = DenseMatrix::zeros(entry.coo.rows(), ctx.k);
+
+            let t_norm = time_repeated(iterations, || {
+                data.spmm_parallel(pool, threads, Schedule::Static, &b, ctx.k, &mut c);
+            });
+            assert!(spmm_core::max_rel_error(&c, &reference) < 1e-9, "{} normal", entry.name);
+            series[fi * 2]
+                .values
+                .push(useful as f64 / t_norm.avg.as_secs_f64() / 1e6);
+
+            let supported =
+                data.spmm_parallel_bt(pool, threads, Schedule::Static, &bt, ctx.k, &mut c);
+            assert!(supported, "paper formats all have transpose kernels");
+            let t_bt = time_repeated(iterations, || {
+                data.spmm_parallel_bt(pool, threads, Schedule::Static, &bt, ctx.k, &mut c);
+            });
+            assert!(
+                spmm_core::max_rel_error(&c, &reference) < 1e-9,
+                "{} transposed",
+                entry.name
+            );
+            series[fi * 2 + 1]
+                .values
+                .push(useful as f64 / t_bt.avg.as_secs_f64() / 1e6);
+        }
+    }
+
+    StudyResult {
+        id: format!("study8-{label}"),
+        figure: if label == "arm" { "Figure 5.17" } else { "Figure 5.18" }.to_string(),
+        title: format!("Study 8: Transpose (host-measured, parallel, {label})"),
+        rows: suite.iter().map(|m| m.name.clone()).collect(),
+        series,
+        unit: "MFLOPS".to_string(),
+    }
+}
+
+/// Count the matrices where the transposed kernel beat the normal one by
+/// more than `margin` (the paper found "only a few matrices have a
+/// noticeable speedup").
+pub fn transpose_win_count(result: &StudyResult, margin: f64) -> usize {
+    let mut wins = 0;
+    for row in 0..result.rows.len() {
+        for fi in 0..result.series.len() / 2 {
+            let normal = result.series[fi * 2].values[row];
+            let transposed = result.series[fi * 2 + 1].values[row];
+            if transposed > normal * (1.0 + margin) {
+                wins += 1;
+            }
+        }
+    }
+    wins
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::studies::load_suite;
+
+    #[test]
+    fn study8_measures_and_verifies_everything() {
+        let ctx = StudyContext::quick();
+        // A small subset keeps the measured test quick.
+        let suite: Vec<_> = load_suite(&ctx).into_iter().take(4).collect();
+        let r = study8(&ctx, "arm", &suite);
+        assert_eq!(r.series.len(), 8);
+        for s in &r.series {
+            assert_eq!(s.values.len(), suite.len());
+            assert!(s.values.iter().all(|v| v.is_finite() && *v > 0.0), "{}", s.label);
+        }
+    }
+
+    #[test]
+    fn transpose_rarely_helps() {
+        // §5.10: "only a few matrices have a noticeable speedup"; mostly
+        // the transposed access pattern thrashes the cache instead.
+        let ctx = StudyContext {
+            scale: 0.02,
+            k: 64,
+            ..StudyContext::quick()
+        };
+        let suite: Vec<_> = load_suite(&ctx).into_iter().take(5).collect();
+        let r = study8(&ctx, "arm", &suite);
+        let cells = r.rows.len() * 4;
+        let wins = transpose_win_count(&r, 0.10);
+        assert!(
+            wins * 2 < cells,
+            "transpose won {wins}/{cells} cells — should be a minority"
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! Study 9 (Figure 5.19): manual optimizations (const-K + hoisted loads).
+//!
+//! Like Study 8, this probes code generation — measurable on any host —
+//! so both sides are wall-clock measurements: the runtime-`k` kernels vs
+//! the const-generic `K` kernels of [`spmm_kernels::optimized`].
+
+use spmm_core::DenseMatrix;
+use spmm_parallel::{global_pool, Schedule};
+
+use super::{format_all, MatrixEntry, Series, StudyContext, StudyResult};
+use crate::timer::time_repeated;
+
+/// Measured serial and parallel comparison of the normal vs manually
+/// optimized kernels. `ctx.k` must be one of
+/// [`spmm_kernels::optimized::SUPPORTED_K`].
+pub fn study9(ctx: &StudyContext, suite: &[MatrixEntry]) -> StudyResult {
+    assert!(
+        spmm_kernels::optimized::SUPPORTED_K.contains(&ctx.k),
+        "k = {} has no const instantiation",
+        ctx.k
+    );
+    let pool = global_pool();
+    let threads = ctx.threads.min(4);
+    let iterations = 2;
+
+    let mut series: Vec<Series> = Vec::new();
+    for f in spmm_core::SparseFormat::PAPER {
+        series.push(Series { label: format!("{f}/serial"), values: Vec::new() });
+        series.push(Series { label: format!("{f}/serial-opt"), values: Vec::new() });
+    }
+    // Parallel const-K exists for CSR and ELL.
+    for f in ["csr", "ell"] {
+        series.push(Series { label: format!("{f}/omp"), values: Vec::new() });
+        series.push(Series { label: format!("{f}/omp-opt"), values: Vec::new() });
+    }
+
+    for entry in suite {
+        let b = spmm_matgen::gen::dense_b(entry.coo.cols(), ctx.k, ctx.seed ^ 0xB);
+        let reference = entry.coo.spmm_reference_k(&b, ctx.k);
+        let useful = spmm_kernels::spmm_flops(entry.coo.nnz(), ctx.k) as f64;
+        let formatted = format_all(entry, ctx.block);
+
+        let mut c = DenseMatrix::zeros(entry.coo.rows(), ctx.k);
+        for (fi, (_, data)) in formatted.iter().enumerate() {
+            let t = time_repeated(iterations, || data.spmm_serial(&b, ctx.k, &mut c));
+            assert!(spmm_core::max_rel_error(&c, &reference) < 1e-9);
+            series[fi * 2].values.push(useful / t.avg.as_secs_f64() / 1e6);
+
+            assert!(data.spmm_serial_fixed_k(&b, ctx.k, &mut c));
+            let t = time_repeated(iterations, || {
+                data.spmm_serial_fixed_k(&b, ctx.k, &mut c);
+            });
+            assert!(spmm_core::max_rel_error(&c, &reference) < 1e-9);
+            series[fi * 2 + 1].values.push(useful / t.avg.as_secs_f64() / 1e6);
+        }
+
+        // csr is PAPER[1], ell is PAPER[2].
+        for (si, fi) in [(8usize, 1usize), (10, 2)] {
+            let data = &formatted[fi].1;
+            let t = time_repeated(iterations, || {
+                data.spmm_parallel(pool, threads, Schedule::Static, &b, ctx.k, &mut c);
+            });
+            assert!(spmm_core::max_rel_error(&c, &reference) < 1e-9);
+            series[si].values.push(useful / t.avg.as_secs_f64() / 1e6);
+
+            let t = time_repeated(iterations, || {
+                data.spmm_parallel_fixed_k(pool, threads, Schedule::Static, &b, ctx.k, &mut c);
+            });
+            assert!(spmm_core::max_rel_error(&c, &reference) < 1e-9);
+            series[si + 1].values.push(useful / t.avg.as_secs_f64() / 1e6);
+        }
+    }
+
+    StudyResult {
+        id: "study9".to_string(),
+        figure: "Figure 5.19".to_string(),
+        title: "Study 9: Manual Optimizations (host-measured)".to_string(),
+        rows: suite.iter().map(|m| m.name.clone()).collect(),
+        series,
+        unit: "MFLOPS".to_string(),
+    }
+}
+
+/// Percent change of the optimized kernel over the normal one, per
+/// (format, matrix) — the paper reports these as positive/negative impact
+/// counts.
+pub fn improvement_percent(result: &StudyResult) -> Vec<(String, Vec<f64>)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < result.series.len() {
+        let base = &result.series[i];
+        let opt = &result.series[i + 1];
+        let deltas: Vec<f64> = base
+            .values
+            .iter()
+            .zip(&opt.values)
+            .map(|(b, o)| (o / b - 1.0) * 100.0)
+            .collect();
+        out.push((base.label.clone(), deltas));
+        i += 2;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::studies::load_suite;
+
+    #[test]
+    fn study9_measures_all_pairs() {
+        let ctx = StudyContext::quick();
+        let suite: Vec<_> = load_suite(&ctx).into_iter().take(3).collect();
+        let r = study9(&ctx, &suite);
+        assert_eq!(r.series.len(), 12); // 4 serial pairs + 2 parallel pairs
+        for s in &r.series {
+            assert_eq!(s.values.len(), 3, "{}", s.label);
+            assert!(s.values.iter().all(|v| *v > 0.0));
+        }
+        let deltas = improvement_percent(&r);
+        assert_eq!(deltas.len(), 6);
+        for (_, d) in &deltas {
+            assert!(d.iter().all(|x| x.is_finite()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no const instantiation")]
+    fn unsupported_k_is_rejected() {
+        let ctx = StudyContext { k: 7, ..StudyContext::quick() };
+        let suite: Vec<_> = load_suite(&ctx).into_iter().take(1).collect();
+        study9(&ctx, &suite);
+    }
+}

@@ -1,0 +1,121 @@
+//! Table 5.1: properties of each matrix.
+
+use spmm_matgen::suite::PaperProperties;
+
+use super::MatrixEntry;
+
+/// One row of the regenerated Table 5.1, with the paper's values attached
+/// for side-by-side comparison.
+#[derive(Debug, Clone)]
+pub struct TableRow {
+    /// Matrix name.
+    pub name: String,
+    /// Rows (= cols; the suite is square).
+    pub size: usize,
+    /// Measured nonzeros of the generated replica.
+    pub nnz: usize,
+    /// Measured max nonzeros per row.
+    pub max: usize,
+    /// Measured mean nonzeros per row.
+    pub avg: f64,
+    /// Measured column ratio.
+    pub ratio: f64,
+    /// Measured variance.
+    pub variance: f64,
+    /// Measured standard deviation.
+    pub std_dev: f64,
+    /// The paper's Table 5.1 values for the full-size original.
+    pub paper: Option<PaperProperties>,
+}
+
+/// Regenerate Table 5.1 from the (scaled) suite.
+pub fn table51(suite: &[MatrixEntry]) -> Vec<TableRow> {
+    suite
+        .iter()
+        .map(|m| TableRow {
+            name: m.name.clone(),
+            size: m.props.rows,
+            nnz: m.props.nnz,
+            max: m.props.max_row_nnz,
+            avg: m.props.avg_row_nnz,
+            ratio: m.props.column_ratio,
+            variance: m.props.variance,
+            std_dev: m.props.std_dev,
+            paper: spmm_matgen::by_name(&m.name).map(|s| s.paper),
+        })
+        .collect()
+}
+
+/// Render the table in the paper's column layout (plus paper-value columns
+/// for ratio, the headline metric).
+pub fn render(rows: &[TableRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<16} {:>8} {:>10} {:>6} {:>7} {:>7} {:>10} {:>8}  {:>11}\n",
+        "Matrix", "Size", "Non-zeros", "Max", "Avg", "Ratio", "Variance", "Std Dev", "paper ratio"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<16} {:>8} {:>10} {:>6} {:>7.1} {:>7.1} {:>10.1} {:>8.1}  {:>11}\n",
+            r.name,
+            r.size,
+            r.nnz,
+            r.max,
+            r.avg,
+            r.ratio,
+            r.variance,
+            r.std_dev,
+            r.paper.map_or("-".to_string(), |p| p.ratio.to_string()),
+        ));
+    }
+    out
+}
+
+/// CSV form of the regenerated table.
+pub fn to_csv(rows: &[TableRow]) -> String {
+    let mut out =
+        String::from("matrix,size,nnz,max,avg,ratio,variance,std_dev,paper_nnz,paper_max,paper_avg,paper_ratio\n");
+    for r in rows {
+        let (pn, pm, pa, pr) = r
+            .paper
+            .map_or((0, 0, 0, 0), |p| (p.nnz, p.max, p.avg, p.ratio));
+        out.push_str(&format!(
+            "{},{},{},{},{:.2},{:.2},{:.2},{:.2},{pn},{pm},{pa},{pr}\n",
+            r.name, r.size, r.nnz, r.max, r.avg, r.ratio, r.variance, r.std_dev
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::studies::{load_suite, StudyContext};
+
+    #[test]
+    fn table_has_all_matrices_with_paper_columns() {
+        // At extreme down-scales torso1's heavy rows are clamped by the
+        // matrix width; 1% scale is enough to preserve the ratio ordering.
+        let suite = load_suite(&StudyContext { scale: 0.01, ..StudyContext::quick() });
+        let rows = table51(&suite);
+        assert_eq!(rows.len(), 14);
+        assert!(rows.iter().all(|r| r.paper.is_some()));
+        // torso1 keeps the worst ratio, as in the paper's table.
+        let torso = rows.iter().find(|r| r.name == "torso1").unwrap();
+        let best = rows.iter().map(|r| r.ratio).fold(0.0f64, f64::max);
+        assert_eq!(torso.ratio, best);
+    }
+
+    #[test]
+    fn render_and_csv_contain_every_matrix() {
+        let suite = load_suite(&StudyContext::quick());
+        let rows = table51(&suite);
+        let text = render(&rows);
+        let csv = to_csv(&rows);
+        for r in &rows {
+            assert!(text.contains(&r.name));
+            assert!(csv.contains(&r.name));
+        }
+        assert_eq!(csv.lines().count(), 15); // header + 14
+    }
+}

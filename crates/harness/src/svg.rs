@@ -1,0 +1,180 @@
+//! SVG rendering of study figures.
+//!
+//! The thesis plotted its figures with a Python script over the suite's
+//! CSV output; `run-studies` instead emits a self-contained SVG per figure
+//! so the reproduction needs no plotting stack. Layout: grouped vertical
+//! bars (one group per matrix, one bar per series), a left axis in the
+//! study's unit, and a legend.
+
+use crate::studies::StudyResult;
+
+/// Qualitative palette (ColorBrewer Set1-ish), cycled over series.
+const PALETTE: [&str; 12] = [
+    "#e41a1c", "#377eb8", "#4daf4a", "#984ea3", "#ff7f00", "#a65628", "#f781bf", "#999999",
+    "#66c2a5", "#fc8d62", "#8da0cb", "#e78ac3",
+];
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Render a [`StudyResult`] as a standalone SVG document.
+pub fn study_svg(r: &StudyResult) -> String {
+    let nseries = r.series.len().max(1);
+    let ngroups = r.rows.len().max(1);
+    let bar_w = 8.0f64;
+    let group_gap = 14.0f64;
+    let group_w = nseries as f64 * bar_w + group_gap;
+    let plot_w = (ngroups as f64 * group_w).max(300.0);
+    let plot_h = 260.0f64;
+    let margin_left = 70.0;
+    let margin_top = 40.0;
+    let legend_h = 18.0 * nseries.div_ceil(4) as f64 + 10.0;
+    let label_h = 90.0;
+    let width = margin_left + plot_w + 20.0;
+    let height = margin_top + plot_h + label_h + legend_h;
+
+    let max = r
+        .series
+        .iter()
+        .flat_map(|s| s.values.iter())
+        .copied()
+        .filter(|v| v.is_finite())
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+
+    let mut svg = String::new();
+    svg.push_str(&format!(
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0}" height="{height:.0}" viewBox="0 0 {width:.0} {height:.0}" font-family="sans-serif">"#
+    ));
+    svg.push_str(&format!(
+        r#"<rect width="100%" height="100%" fill="white"/><text x="{:.0}" y="22" font-size="14" font-weight="bold">{} — {}</text>"#,
+        margin_left,
+        esc(&r.figure),
+        esc(&r.title)
+    ));
+
+    // Y axis: 5 gridlines + tick labels.
+    for t in 0..=5 {
+        let frac = t as f64 / 5.0;
+        let y = margin_top + plot_h * (1.0 - frac);
+        svg.push_str(&format!(
+            r##"<line x1="{margin_left:.0}" y1="{y:.1}" x2="{:.0}" y2="{y:.1}" stroke="#ddd"/>"##,
+            margin_left + plot_w
+        ));
+        svg.push_str(&format!(
+            r#"<text x="{:.0}" y="{:.1}" font-size="9" text-anchor="end">{:.0}</text>"#,
+            margin_left - 5.0,
+            y + 3.0,
+            max * frac
+        ));
+    }
+    svg.push_str(&format!(
+        r#"<text x="12" y="{:.0}" font-size="10" transform="rotate(-90 12 {:.0})">{}</text>"#,
+        margin_top + plot_h / 2.0,
+        margin_top + plot_h / 2.0,
+        esc(&r.unit)
+    ));
+
+    // Bars.
+    for (g, row) in r.rows.iter().enumerate() {
+        let gx = margin_left + g as f64 * group_w;
+        for (si, series) in r.series.iter().enumerate() {
+            let v = series.values.get(g).copied().unwrap_or(f64::NAN);
+            let x = gx + si as f64 * bar_w;
+            if v.is_finite() {
+                let h = (v / max) * plot_h;
+                svg.push_str(&format!(
+                    r#"<rect x="{x:.1}" y="{:.1}" width="{:.1}" height="{h:.1}" fill="{}"><title>{}: {} = {v:.1} {}</title></rect>"#,
+                    margin_top + plot_h - h,
+                    bar_w - 1.0,
+                    PALETTE[si % PALETTE.len()],
+                    esc(row),
+                    esc(&series.label),
+                    esc(&r.unit)
+                ));
+            } else {
+                // Missing measurement (e.g. Aries GPU): an x at the base.
+                svg.push_str(&format!(
+                    r##"<text x="{x:.1}" y="{:.1}" font-size="8" fill="#c00">x</text>"##,
+                    margin_top + plot_h - 2.0
+                ));
+            }
+        }
+        // Rotated matrix label.
+        let lx = gx + (group_w - group_gap) / 2.0;
+        let ly = margin_top + plot_h + 8.0;
+        svg.push_str(&format!(
+            r#"<text x="{lx:.1}" y="{ly:.1}" font-size="9" text-anchor="end" transform="rotate(-55 {lx:.1} {ly:.1})">{}</text>"#,
+            esc(row)
+        ));
+    }
+
+    // Legend, four entries per row.
+    let legend_y = margin_top + plot_h + label_h;
+    for (si, series) in r.series.iter().enumerate() {
+        let col = si % 4;
+        let rowi = si / 4;
+        let x = margin_left + col as f64 * 150.0;
+        let y = legend_y + rowi as f64 * 18.0;
+        svg.push_str(&format!(
+            r#"<rect x="{x:.0}" y="{y:.0}" width="10" height="10" fill="{}"/><text x="{:.0}" y="{:.0}" font-size="10">{}</text>"#,
+            PALETTE[si % PALETTE.len()],
+            x + 14.0,
+            y + 9.0,
+            esc(&series.label)
+        ));
+    }
+
+    svg.push_str("</svg>");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::studies::Series;
+
+    fn sample() -> StudyResult {
+        StudyResult {
+            id: "t".into(),
+            figure: "Figure 5.1".into(),
+            title: "Test".into(),
+            rows: vec!["m1".into(), "m2 <&>".into()],
+            series: vec![
+                Series { label: "csr/omp".into(), values: vec![10.0, 30.0] },
+                Series { label: "coo/gpu".into(), values: vec![20.0, f64::NAN] },
+            ],
+            unit: "MFLOPS".into(),
+        }
+    }
+
+    #[test]
+    fn svg_is_well_formed_enough() {
+        let svg = study_svg(&sample());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<svg").count(), 1);
+        // One bar per finite value.
+        assert_eq!(svg.matches("<rect").count() - 1 /* background */ - 2 /* legend */, 3);
+        // Missing value marked.
+        assert!(svg.contains(r##"fill="#c00""##));
+        // Labels escaped.
+        assert!(svg.contains("m2 &lt;&amp;&gt;"));
+        assert!(!svg.contains("m2 <&>"));
+    }
+
+    #[test]
+    fn empty_study_renders_without_panicking() {
+        let r = StudyResult {
+            id: "e".into(),
+            figure: "Figure 0".into(),
+            title: "Empty".into(),
+            rows: vec![],
+            series: vec![],
+            unit: "".into(),
+        };
+        let svg = study_svg(&r);
+        assert!(svg.contains("</svg>"));
+    }
+}

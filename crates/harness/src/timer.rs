@@ -1,0 +1,87 @@
+//! Wall-clock timing for the benchmarking loop.
+
+use std::time::{Duration, Instant};
+
+/// Times one closure call.
+pub fn time_once<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed())
+}
+
+/// Timing summary of the repeated calculation calls.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Timings {
+    /// Number of calls.
+    pub iterations: usize,
+    /// Mean per-call time.
+    pub avg: Duration,
+    /// Fastest call.
+    pub min: Duration,
+    /// Slowest call.
+    pub max: Duration,
+    /// Sum of all calls.
+    pub total: Duration,
+}
+
+/// Call `f` `iterations` times and summarize (the suite's benchmarking
+/// function: FLOPS are computed against the *average* calc time, §4.3).
+pub fn time_repeated(iterations: usize, mut f: impl FnMut()) -> Timings {
+    assert!(iterations > 0, "at least one iteration required");
+    let mut min = Duration::MAX;
+    let mut max = Duration::ZERO;
+    let mut total = Duration::ZERO;
+    for _ in 0..iterations {
+        let (_, d) = time_once(&mut f);
+        min = min.min(d);
+        max = max.max(d);
+        total += d;
+    }
+    Timings { iterations, avg: total / iterations as u32, min, max, total }
+}
+
+/// FLOPS from a useful-operation count and a duration.
+pub fn flops(useful_ops: u64, time: Duration) -> f64 {
+    let secs = time.as_secs_f64();
+    if secs <= 0.0 {
+        return 0.0;
+    }
+    useful_ops as f64 / secs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_once_returns_value_and_duration() {
+        let (v, d) = time_once(|| {
+            std::thread::sleep(Duration::from_millis(2));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(d >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn repeated_invariants() {
+        let mut count = 0;
+        let t = time_repeated(5, || count += 1);
+        assert_eq!(count, 5);
+        assert_eq!(t.iterations, 5);
+        assert!(t.min <= t.avg && t.avg <= t.max);
+        assert!(t.total >= t.min * 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn zero_iterations_panics() {
+        time_repeated(0, || {});
+    }
+
+    #[test]
+    fn flops_math() {
+        assert_eq!(flops(1_000_000, Duration::from_secs(1)), 1e6);
+        assert_eq!(flops(100, Duration::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! End-to-end tests of the two binaries via their command-line interfaces.
+
+use std::process::Command;
+
+fn spmm_bench(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_spmm-bench"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn single_kernel_run_reports_and_verifies() {
+    let out = spmm_bench(&[
+        "-m", "bcsstk13", "-f", "csr", "--backend", "serial", "-k", "16", "-n", "1",
+        "--scale", "0.2",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("MFLOPS"), "{text}");
+    assert!(text.contains("verify:      PASSED"), "{text}");
+}
+
+#[test]
+fn csv_output_is_machine_readable() {
+    let out = spmm_bench(&[
+        "-m", "dw4096", "-f", "ell", "-k", "8", "-n", "1", "--scale", "0.1", "--csv",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let mut lines = text.lines();
+    let header = lines.next().expect("header line");
+    let row = lines.next().expect("data line");
+    assert_eq!(header.split(',').count(), row.split(',').count());
+    assert!(row.starts_with("dw4096,ell,serial,normal,8"));
+}
+
+#[test]
+fn gpu_backend_runs_simulated() {
+    let out = spmm_bench(&[
+        "-m", "af23560", "-f", "csr", "--backend", "gpu-h100", "-k", "16", "-n", "1",
+        "--scale", "0.05",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("simulated device time"), "{text}");
+}
+
+#[test]
+fn thread_list_reports_best_count() {
+    let out = spmm_bench(&[
+        "-m", "bcsstk13", "-f", "csr", "--backend", "parallel", "--thread-list", "1,2,4",
+        "-k", "8", "-n", "1", "--scale", "0.2",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("best thread count:"), "{text}");
+}
+
+#[test]
+fn list_matrices_prints_the_suite() {
+    let out = spmm_bench(&["--list-matrices"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in ["2cubes_sphere", "torso1", "x104"] {
+        assert!(text.contains(name), "{text}");
+    }
+    assert_eq!(text.lines().count(), 15); // header + 14
+}
+
+#[test]
+fn spmv_op_via_cli() {
+    let out = spmm_bench(&[
+        "-m", "dw4096", "-f", "csr", "--op", "spmv", "--scale", "0.1", "-n", "1",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("verify:      PASSED"));
+}
+
+#[test]
+fn bad_flags_exit_nonzero_with_usage() {
+    let out = spmm_bench(&["--format", "imaginary"]);
+    assert!(!out.status.success());
+    let out = spmm_bench(&["--frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("options:"));
+}
+
+#[test]
+fn unknown_matrix_fails_cleanly() {
+    let out = spmm_bench(&["-m", "no_such_matrix"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown suite matrix"));
+}
+
+#[test]
+fn unsupported_combination_fails_cleanly() {
+    // BELL has no transposed kernel.
+    let out = spmm_bench(&[
+        "-m", "dw4096", "-f", "bell", "--variant", "transposed", "--scale", "0.05",
+    ]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn run_studies_quick_writes_all_outputs() {
+    let dir = std::env::temp_dir().join(format!("spmm_cli_{}", std::process::id()));
+    let out = Command::new(env!("CARGO_BIN_EXE_run-studies"))
+        .args(["--quick", "--no-charts", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Every study artifact exists.
+    for name in [
+        "table51.csv",
+        "study1-arm.csv",
+        "study1-x86.csv",
+        "study2-arm.csv",
+        "study3-arm.csv",
+        "study3.1-arm.csv",
+        "study4-x86.csv",
+        "study5-arm.csv",
+        "study6-formats.csv",
+        "study6-bcsr.csv",
+        "study7-arm.csv",
+        "study7-x86.csv",
+        "study8-arm.csv",
+        "study9.csv",
+        "memory_footprint.csv",
+        "study1-arm.json",
+    ] {
+        assert!(dir.join(name).exists(), "missing {name}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,396 @@
+//! Run-time dispatch over (format × backend × variant).
+//!
+//! The thesis drives one kernel per benchmark binary; this crate instead
+//! packages a formatted matrix as a [`FormatData`] value whose methods
+//! cover the whole kernel matrix, so the harness (and the study drivers)
+//! can select format, backend and variant from command-line parameters.
+
+use spmm_core::{
+    BcsrMatrix, BellMatrix, CooMatrix, Csr5Matrix, CsrMatrix, DenseMatrix, EllMatrix, HybMatrix,
+    Index, MemoryFootprint, Scalar, SellMatrix, SparseError, SparseFormat, SparseMatrix,
+};
+use spmm_parallel::{Schedule, ThreadPool};
+
+use crate::{extended, optimized, parallel, serial, spmv, transpose};
+
+/// Default SELL-C-σ slice height used by [`FormatData::from_coo`].
+pub const SELL_SLICE_HEIGHT: usize = 8;
+/// Default SELL-C-σ sorting window used by [`FormatData::from_coo`].
+pub const SELL_SIGMA: usize = 64;
+
+/// A sparse matrix formatted into one of the suite's formats, with uniform
+/// kernel entry points.
+#[derive(Debug, Clone)]
+pub enum FormatData<T, I = usize> {
+    /// Coordinate format.
+    Coo(CooMatrix<T, I>),
+    /// Compressed sparse row.
+    Csr(CsrMatrix<T, I>),
+    /// ELLPACK.
+    Ell(EllMatrix<T, I>),
+    /// Blocked CSR.
+    Bcsr(BcsrMatrix<T, I>),
+    /// Blocked ELLPACK.
+    Bell(BellMatrix<T, I>),
+    /// CSR5-style tiles.
+    Csr5(Csr5Matrix<T, I>),
+    /// SELL-C-σ sliced ELLPACK.
+    Sell(SellMatrix<T, I>),
+    /// HYB (ELL + COO tail).
+    Hyb(HybMatrix<T, I>),
+}
+
+impl<T: Scalar, I: Index> FormatData<T, I> {
+    /// Format `coo` into `format`. `block` is the BCSR/BELL block size
+    /// (ignored by the other formats — the suite's `-b` flag semantics).
+    pub fn from_coo(
+        format: SparseFormat,
+        coo: &CooMatrix<T, I>,
+        block: usize,
+    ) -> Result<Self, SparseError> {
+        Ok(match format {
+            SparseFormat::Coo => FormatData::Coo(coo.clone()),
+            SparseFormat::Csr => FormatData::Csr(CsrMatrix::from_coo(coo)),
+            SparseFormat::Ell => FormatData::Ell(EllMatrix::from_coo(coo)),
+            SparseFormat::Bcsr => FormatData::Bcsr(BcsrMatrix::from_coo(coo, block)?),
+            SparseFormat::Bell => FormatData::Bell(BellMatrix::from_coo(coo, block)?),
+            SparseFormat::Csr5 => FormatData::Csr5(Csr5Matrix::from_coo(coo)),
+            SparseFormat::Sell => {
+                FormatData::Sell(SellMatrix::from_coo(coo, SELL_SLICE_HEIGHT, SELL_SIGMA)?)
+            }
+            SparseFormat::Hyb => FormatData::Hyb(HybMatrix::from_coo(coo)),
+        })
+    }
+
+    /// The format tag.
+    pub fn format(&self) -> SparseFormat {
+        match self {
+            FormatData::Coo(_) => SparseFormat::Coo,
+            FormatData::Csr(_) => SparseFormat::Csr,
+            FormatData::Ell(_) => SparseFormat::Ell,
+            FormatData::Bcsr(_) => SparseFormat::Bcsr,
+            FormatData::Bell(_) => SparseFormat::Bell,
+            FormatData::Csr5(_) => SparseFormat::Csr5,
+            FormatData::Sell(_) => SparseFormat::Sell,
+            FormatData::Hyb(_) => SparseFormat::Hyb,
+        }
+    }
+
+    /// Logical row count.
+    pub fn rows(&self) -> usize {
+        match self {
+            FormatData::Coo(m) => m.rows(),
+            FormatData::Csr(m) => m.rows(),
+            FormatData::Ell(m) => SparseMatrix::rows(m),
+            FormatData::Bcsr(m) => m.rows(),
+            FormatData::Bell(m) => SparseMatrix::rows(m),
+            FormatData::Csr5(m) => SparseMatrix::rows(m),
+            FormatData::Sell(m) => m.rows(),
+            FormatData::Hyb(m) => m.rows(),
+        }
+    }
+
+    /// Logical column count.
+    pub fn cols(&self) -> usize {
+        match self {
+            FormatData::Coo(m) => m.cols(),
+            FormatData::Csr(m) => m.cols(),
+            FormatData::Ell(m) => SparseMatrix::cols(m),
+            FormatData::Bcsr(m) => m.cols(),
+            FormatData::Bell(m) => SparseMatrix::cols(m),
+            FormatData::Csr5(m) => SparseMatrix::cols(m),
+            FormatData::Sell(m) => m.cols(),
+            FormatData::Hyb(m) => m.cols(),
+        }
+    }
+
+    /// Real nonzero count (excludes blocked-format padding).
+    pub fn nnz(&self) -> usize {
+        match self {
+            FormatData::Coo(m) => m.nnz(),
+            FormatData::Csr(m) => m.nnz(),
+            FormatData::Ell(m) => m.nnz(),
+            FormatData::Bcsr(m) => m.nnz(),
+            FormatData::Bell(m) => m.nnz(),
+            FormatData::Csr5(m) => m.nnz(),
+            FormatData::Sell(m) => m.nnz(),
+            FormatData::Hyb(m) => m.nnz(),
+        }
+    }
+
+    /// Stored entries including padding (the work the hardware performs).
+    pub fn stored_entries(&self) -> usize {
+        match self {
+            FormatData::Coo(m) => m.stored_entries(),
+            FormatData::Csr(m) => m.stored_entries(),
+            FormatData::Ell(m) => m.stored_entries(),
+            FormatData::Bcsr(m) => m.stored_entries(),
+            FormatData::Bell(m) => m.stored_entries(),
+            FormatData::Csr5(m) => m.stored_entries(),
+            FormatData::Sell(m) => m.stored_entries(),
+            FormatData::Hyb(m) => m.stored_entries(),
+        }
+    }
+
+    /// Payload bytes of the representation (§6.3.5 accounting).
+    pub fn memory_footprint(&self) -> usize {
+        match self {
+            FormatData::Coo(m) => m.memory_footprint(),
+            FormatData::Csr(m) => m.memory_footprint(),
+            FormatData::Ell(m) => m.memory_footprint(),
+            FormatData::Bcsr(m) => m.memory_footprint(),
+            FormatData::Bell(m) => m.memory_footprint(),
+            FormatData::Csr5(m) => m.memory_footprint(),
+            FormatData::Sell(m) => m.memory_footprint(),
+            FormatData::Hyb(m) => m.memory_footprint(),
+        }
+    }
+
+    /// Serial SpMM.
+    pub fn spmm_serial(&self, b: &DenseMatrix<T>, k: usize, c: &mut DenseMatrix<T>) {
+        match self {
+            FormatData::Coo(m) => serial::coo_spmm(m, b, k, c),
+            FormatData::Csr(m) => serial::csr_spmm(m, b, k, c),
+            FormatData::Ell(m) => serial::ell_spmm(m, b, k, c),
+            FormatData::Bcsr(m) => serial::bcsr_spmm(m, b, k, c),
+            FormatData::Bell(m) => serial::bell_spmm(m, b, k, c),
+            FormatData::Csr5(m) => serial::csr5_spmm(m, b, k, c),
+            FormatData::Sell(m) => extended::sell_spmm(m, b, k, c),
+            FormatData::Hyb(m) => extended::hyb_spmm(m, b, k, c),
+        }
+    }
+
+    /// CPU-parallel SpMM. COO ignores `schedule` (its split is inherently
+    /// static and row-aligned).
+    pub fn spmm_parallel(
+        &self,
+        pool: &ThreadPool,
+        threads: usize,
+        schedule: Schedule,
+        b: &DenseMatrix<T>,
+        k: usize,
+        c: &mut DenseMatrix<T>,
+    ) {
+        match self {
+            FormatData::Coo(m) => parallel::coo_spmm(pool, threads, m, b, k, c),
+            FormatData::Csr(m) => parallel::csr_spmm(pool, threads, schedule, m, b, k, c),
+            FormatData::Ell(m) => parallel::ell_spmm(pool, threads, schedule, m, b, k, c),
+            FormatData::Bcsr(m) => parallel::bcsr_spmm(pool, threads, schedule, m, b, k, c),
+            FormatData::Bell(m) => parallel::bell_spmm(pool, threads, schedule, m, b, k, c),
+            FormatData::Csr5(m) => parallel::csr5_spmm(pool, threads, schedule, m, b, k, c),
+            FormatData::Sell(m) => {
+                extended::sell_spmm_parallel(pool, threads, schedule, m, b, k, c)
+            }
+            FormatData::Hyb(m) => extended::hyb_spmm_parallel(pool, threads, schedule, m, b, k, c),
+        }
+    }
+
+    /// Serial transposed-B SpMM (Study 8). Returns `false` for formats
+    /// without a transpose variant (BELL, CSR5 — matching the paper, which
+    /// only built transpose kernels for its four formats).
+    pub fn spmm_serial_bt(&self, bt: &DenseMatrix<T>, k: usize, c: &mut DenseMatrix<T>) -> bool {
+        match self {
+            FormatData::Coo(m) => transpose::coo_spmm_bt(m, bt, k, c),
+            FormatData::Csr(m) => transpose::csr_spmm_bt(m, bt, k, c),
+            FormatData::Ell(m) => transpose::ell_spmm_bt(m, bt, k, c),
+            FormatData::Bcsr(m) => transpose::bcsr_spmm_bt(m, bt, k, c),
+            FormatData::Bell(_)
+            | FormatData::Csr5(_)
+            | FormatData::Sell(_)
+            | FormatData::Hyb(_) => return false,
+        }
+        true
+    }
+
+    /// Parallel transposed-B SpMM (Study 8).
+    pub fn spmm_parallel_bt(
+        &self,
+        pool: &ThreadPool,
+        threads: usize,
+        schedule: Schedule,
+        bt: &DenseMatrix<T>,
+        k: usize,
+        c: &mut DenseMatrix<T>,
+    ) -> bool {
+        match self {
+            FormatData::Coo(m) => transpose::coo_spmm_bt_parallel(pool, threads, m, bt, k, c),
+            FormatData::Csr(m) => {
+                transpose::csr_spmm_bt_parallel(pool, threads, schedule, m, bt, k, c)
+            }
+            FormatData::Ell(m) => {
+                transpose::ell_spmm_bt_parallel(pool, threads, schedule, m, bt, k, c)
+            }
+            FormatData::Bcsr(m) => {
+                transpose::bcsr_spmm_bt_parallel(pool, threads, schedule, m, bt, k, c)
+            }
+            FormatData::Bell(_)
+            | FormatData::Csr5(_)
+            | FormatData::Sell(_)
+            | FormatData::Hyb(_) => return false,
+        }
+        true
+    }
+
+    /// Serial const-`K` SpMM (Study 9). Returns `false` if this format has
+    /// no specialized kernel or `k` has no instantiation.
+    pub fn spmm_serial_fixed_k(&self, b: &DenseMatrix<T>, k: usize, c: &mut DenseMatrix<T>) -> bool {
+        match self {
+            FormatData::Coo(m) => optimized::coo_spmm_fixed_k(m, b, k, c),
+            FormatData::Csr(m) => optimized::csr_spmm_fixed_k(m, b, k, c),
+            FormatData::Ell(m) => optimized::ell_spmm_fixed_k(m, b, k, c),
+            FormatData::Bcsr(m) => optimized::bcsr_spmm_fixed_k(m, b, k, c),
+            FormatData::Bell(_)
+            | FormatData::Csr5(_)
+            | FormatData::Sell(_)
+            | FormatData::Hyb(_) => false,
+        }
+    }
+
+    /// Parallel const-`K` SpMM (Study 9; CSR and ELL rows loops only, the
+    /// kernels whose parallel variants the paper re-ran).
+    pub fn spmm_parallel_fixed_k(
+        &self,
+        pool: &ThreadPool,
+        threads: usize,
+        schedule: Schedule,
+        b: &DenseMatrix<T>,
+        k: usize,
+        c: &mut DenseMatrix<T>,
+    ) -> bool {
+        match self {
+            FormatData::Csr(m) => {
+                optimized::csr_spmm_fixed_k_parallel(pool, threads, schedule, m, b, k, c)
+            }
+            FormatData::Ell(m) => {
+                optimized::ell_spmm_fixed_k_parallel(pool, threads, schedule, m, b, k, c)
+            }
+            _ => false,
+        }
+    }
+
+    /// Serial SpMV (§6.3.4). Returns `false` for BELL/CSR5.
+    pub fn spmv_serial(&self, x: &[T], y: &mut [T]) -> bool {
+        match self {
+            FormatData::Coo(m) => spmv::coo_spmv(m, x, y),
+            FormatData::Csr(m) => spmv::csr_spmv(m, x, y),
+            FormatData::Ell(m) => spmv::ell_spmv(m, x, y),
+            FormatData::Bcsr(m) => spmv::bcsr_spmv(m, x, y),
+            FormatData::Bell(_)
+            | FormatData::Csr5(_)
+            | FormatData::Sell(_)
+            | FormatData::Hyb(_) => return false,
+        }
+        true
+    }
+
+    /// Parallel SpMV (§6.3.4).
+    pub fn spmv_parallel(
+        &self,
+        pool: &ThreadPool,
+        threads: usize,
+        schedule: Schedule,
+        x: &[T],
+        y: &mut [T],
+    ) -> bool {
+        match self {
+            FormatData::Coo(m) => spmv::coo_spmv_parallel(pool, threads, m, x, y),
+            FormatData::Csr(m) => spmv::csr_spmv_parallel(pool, threads, schedule, m, x, y),
+            FormatData::Ell(m) => spmv::ell_spmv_parallel(pool, threads, schedule, m, x, y),
+            FormatData::Bcsr(m) => spmv::bcsr_spmv_parallel(pool, threads, schedule, m, x, y),
+            FormatData::Bell(_)
+            | FormatData::Csr5(_)
+            | FormatData::Sell(_)
+            | FormatData::Hyb(_) => return false,
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> (CooMatrix<f64>, DenseMatrix<f64>) {
+        let mut trips = Vec::new();
+        for i in 0..40usize {
+            for d in 0..(i % 4 + 1) {
+                trips.push((i, (i + d * 11) % 25, 1.0 + (i * d) as f64 * 0.1));
+            }
+        }
+        (
+            CooMatrix::from_triplets(40, 25, &trips).unwrap(),
+            DenseMatrix::from_fn(25, 8, |i, j| ((i + j) % 5) as f64 - 2.0),
+        )
+    }
+
+    #[test]
+    fn every_format_round_trips_through_dispatch() {
+        let (coo, b) = fixture();
+        let expected = coo.spmm_reference_k(&b, 8);
+        let pool = ThreadPool::new(3);
+        for fmt in SparseFormat::ALL {
+            let data = FormatData::from_coo(fmt, &coo, 4).unwrap();
+            assert_eq!(data.format(), fmt);
+            assert_eq!(data.nnz(), coo.nnz());
+            assert_eq!((data.rows(), data.cols()), (40, 25));
+            assert!(data.memory_footprint() > 0);
+
+            let mut c = DenseMatrix::zeros(40, 8);
+            data.spmm_serial(&b, 8, &mut c);
+            assert_eq!(c, expected, "{fmt} serial");
+
+            let mut c = DenseMatrix::zeros(40, 8);
+            data.spmm_parallel(&pool, 3, Schedule::Static, &b, 8, &mut c);
+            let err = spmm_core::max_rel_error(&c, &expected);
+            assert!(err < 1e-12, "{fmt} parallel err={err}");
+        }
+    }
+
+    #[test]
+    fn transpose_dispatch_covers_paper_formats_only() {
+        let (coo, b) = fixture();
+        let bt = b.transposed();
+        let expected = coo.spmm_reference_k(&b, 8);
+        for fmt in SparseFormat::ALL {
+            let data = FormatData::from_coo(fmt, &coo, 2).unwrap();
+            let mut c = DenseMatrix::zeros(40, 8);
+            let supported = data.spmm_serial_bt(&bt, 8, &mut c);
+            assert_eq!(supported, SparseFormat::PAPER.contains(&fmt), "{fmt}");
+            if supported {
+                assert_eq!(c, expected, "{fmt} bt");
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_k_dispatch() {
+        let (coo, b16) = fixture();
+        let b = DenseMatrix::from_fn(25, 16, |i, j| b16.get(i, j % 8));
+        let expected = coo.spmm_reference_k(&b, 16);
+        let data = FormatData::from_coo(SparseFormat::Csr, &coo, 4).unwrap();
+        let mut c = DenseMatrix::zeros(40, 16);
+        assert!(data.spmm_serial_fixed_k(&b, 16, &mut c));
+        assert_eq!(c, expected);
+        // Unsupported k.
+        let mut c = DenseMatrix::zeros(40, 9);
+        let b9 = DenseMatrix::from_fn(25, 9, |_, _| 0.0);
+        assert!(!data.spmm_serial_fixed_k(&b9, 9, &mut c));
+    }
+
+    #[test]
+    fn spmv_dispatch() {
+        let (coo, _) = fixture();
+        let x: Vec<f64> = (0..25).map(|i| i as f64 * 0.25).collect();
+        let expected = coo.spmv_reference(&x);
+        let pool = ThreadPool::new(2);
+        for fmt in SparseFormat::PAPER {
+            let data = FormatData::from_coo(fmt, &coo, 2).unwrap();
+            let mut y = vec![0.0; 40];
+            assert!(data.spmv_serial(&x, &mut y), "{fmt}");
+            assert_eq!(y, expected, "{fmt} spmv serial");
+            let mut y = vec![0.0; 40];
+            assert!(data.spmv_parallel(&pool, 3, Schedule::Static, &x, &mut y));
+            assert_eq!(y, expected, "{fmt} spmv parallel");
+        }
+    }
+}

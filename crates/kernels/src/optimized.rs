@@ -1,0 +1,385 @@
+//! Manually optimized kernels (the paper's Study 9).
+//!
+//! The thesis applied two manual optimizations to its calculation kernels:
+//! hoisting the value load out of the k loop, and baking the k-loop bound
+//! in at compile time with C++ templates so the compiler emits SIMD and
+//! unrolled code. Here the same trick is Rust const generics: each kernel
+//! takes `const K: usize`, accumulates into a stack array of exactly `K`
+//! elements, and the [`SUPPORTED_K`] dispatchers select the right
+//! instantiation at run time (falling back to the runtime-`k` kernels for
+//! other values, as the C++ suite would fall back to the generic template).
+
+use spmm_core::{
+    BcsrMatrix, CooMatrix, CsrMatrix, DenseMatrix, EllMatrix, Index, Scalar,
+};
+use spmm_parallel::{Schedule, ThreadPool};
+
+use crate::check_spmm_shapes;
+use crate::util::DisjointSlice;
+
+/// The k values with dedicated compile-time instantiations: the paper's
+/// Study 4 sweep values (1028 is served by the runtime fallback).
+pub const SUPPORTED_K: [usize; 7] = [8, 16, 32, 64, 128, 256, 512];
+
+/// `acc[..] += v * b_row[..K]` with the bound known at compile time.
+#[inline(always)]
+fn axpy_const<T: Scalar, const K: usize>(acc: &mut [T; K], v: T, b_row: &[T]) {
+    let b_row = &b_row[..K];
+    for kk in 0..K {
+        acc[kk] = v.mul_add(b_row[kk], acc[kk]);
+    }
+}
+
+/// Serial CSR SpMM with compile-time `K`.
+pub fn csr_spmm_const<T: Scalar, I: Index, const K: usize>(
+    a: &CsrMatrix<T, I>,
+    b: &DenseMatrix<T>,
+    c: &mut DenseMatrix<T>,
+) {
+    check_spmm_shapes(a.rows(), a.cols(), b, K, c);
+    for i in 0..a.rows() {
+        let mut acc = [T::ZERO; K];
+        let (cols, vals) = a.row(i);
+        for (&j, &v) in cols.iter().zip(vals) {
+            axpy_const(&mut acc, v, b.row(j.as_usize()));
+        }
+        c.row_mut(i)[..K].copy_from_slice(&acc);
+    }
+}
+
+/// Serial COO SpMM with compile-time `K`.
+pub fn coo_spmm_const<T: Scalar, I: Index, const K: usize>(
+    a: &CooMatrix<T, I>,
+    b: &DenseMatrix<T>,
+    c: &mut DenseMatrix<T>,
+) {
+    check_spmm_shapes(a.rows(), a.cols(), b, K, c);
+    c.clear();
+    // COO cannot keep a per-row register accumulator (rows interleave in
+    // principle), but the sorted order lets us carry one across runs of
+    // equal rows — the same "load hoisting" spirit applied to C.
+    let mut acc = [T::ZERO; K];
+    let mut current_row = usize::MAX;
+    for (r, j, v) in a.iter() {
+        if r != current_row {
+            if current_row != usize::MAX {
+                let c_row = &mut c.row_mut(current_row)[..K];
+                for (cv, &av) in c_row.iter_mut().zip(&acc) {
+                    *cv += av;
+                }
+            }
+            acc = [T::ZERO; K];
+            current_row = r;
+        }
+        axpy_const(&mut acc, v, b.row(j));
+    }
+    if current_row != usize::MAX {
+        let c_row = &mut c.row_mut(current_row)[..K];
+        for (cv, &av) in c_row.iter_mut().zip(&acc) {
+            *cv += av;
+        }
+    }
+}
+
+/// Serial ELLPACK SpMM with compile-time `K`.
+pub fn ell_spmm_const<T: Scalar, I: Index, const K: usize>(
+    a: &EllMatrix<T, I>,
+    b: &DenseMatrix<T>,
+    c: &mut DenseMatrix<T>,
+) {
+    check_spmm_shapes(a.rows(), a.cols(), b, K, c);
+    for i in 0..a.rows() {
+        let mut acc = [T::ZERO; K];
+        for (&j, &v) in a.row_cols(i).iter().zip(a.row_vals(i)) {
+            axpy_const(&mut acc, v, b.row(j.as_usize()));
+        }
+        c.row_mut(i)[..K].copy_from_slice(&acc);
+    }
+}
+
+/// Serial BCSR SpMM with compile-time `K`.
+pub fn bcsr_spmm_const<T: Scalar, I: Index, const K: usize>(
+    a: &BcsrMatrix<T, I>,
+    b: &DenseMatrix<T>,
+    c: &mut DenseMatrix<T>,
+) {
+    check_spmm_shapes(a.rows(), a.cols(), b, K, c);
+    c.clear();
+    let (r, bc_w) = (a.block_r(), a.block_c());
+    let rows = a.rows();
+    let cols = a.cols();
+    for bi in 0..a.block_rows() {
+        let row_lo = bi * r;
+        let row_hi = (row_lo + r).min(rows);
+        for i in row_lo..row_hi {
+            let mut acc = [T::ZERO; K];
+            for (bcol, block) in a.block_row(bi) {
+                let col_lo = bcol * bc_w;
+                let brow = &block[(i - row_lo) * bc_w..(i - row_lo + 1) * bc_w];
+                for (lc, &v) in brow.iter().enumerate() {
+                    let j = col_lo + lc;
+                    if j < cols && v != T::ZERO {
+                        axpy_const(&mut acc, v, b.row(j));
+                    }
+                }
+            }
+            let c_row = &mut c.row_mut(i)[..K];
+            c_row.copy_from_slice(&acc);
+        }
+    }
+}
+
+/// Parallel CSR SpMM with compile-time `K` (row loop).
+pub fn csr_spmm_const_parallel<T: Scalar, I: Index, const K: usize>(
+    pool: &ThreadPool,
+    threads: usize,
+    schedule: Schedule,
+    a: &CsrMatrix<T, I>,
+    b: &DenseMatrix<T>,
+    c: &mut DenseMatrix<T>,
+) {
+    check_spmm_shapes(a.rows(), a.cols(), b, K, c);
+    let k_cols = c.cols();
+    let c_slice = DisjointSlice::new(c.as_mut_slice());
+    pool.parallel_for(threads, 0..a.rows(), schedule, |rows| {
+        for i in rows {
+            let mut acc = [T::ZERO; K];
+            let (cols, vals) = a.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                axpy_const(&mut acc, v, b.row(j.as_usize()));
+            }
+            // SAFETY: disjoint row ranges.
+            let c_row = unsafe { c_slice.slice_mut(i * k_cols, k_cols) };
+            c_row[..K].copy_from_slice(&acc);
+        }
+    });
+}
+
+/// Parallel ELLPACK SpMM with compile-time `K` (row loop).
+pub fn ell_spmm_const_parallel<T: Scalar, I: Index, const K: usize>(
+    pool: &ThreadPool,
+    threads: usize,
+    schedule: Schedule,
+    a: &EllMatrix<T, I>,
+    b: &DenseMatrix<T>,
+    c: &mut DenseMatrix<T>,
+) {
+    check_spmm_shapes(a.rows(), a.cols(), b, K, c);
+    let k_cols = c.cols();
+    let c_slice = DisjointSlice::new(c.as_mut_slice());
+    pool.parallel_for(threads, 0..a.rows(), schedule, |rows| {
+        for i in rows {
+            let mut acc = [T::ZERO; K];
+            for (&j, &v) in a.row_cols(i).iter().zip(a.row_vals(i)) {
+                axpy_const(&mut acc, v, b.row(j.as_usize()));
+            }
+            // SAFETY: disjoint row ranges.
+            let c_row = unsafe { c_slice.slice_mut(i * k_cols, k_cols) };
+            c_row[..K].copy_from_slice(&acc);
+        }
+    });
+}
+
+macro_rules! dispatch_const_k {
+    ($k:expr, $body:ident) => {
+        match $k {
+            8 => { $body!(8); true }
+            16 => { $body!(16); true }
+            32 => { $body!(32); true }
+            64 => { $body!(64); true }
+            128 => { $body!(128); true }
+            256 => { $body!(256); true }
+            512 => { $body!(512); true }
+            _ => false,
+        }
+    };
+}
+
+/// Run the const-`K` serial CSR kernel if `k` has an instantiation.
+/// Returns `false` (without touching `c`) otherwise.
+pub fn csr_spmm_fixed_k<T: Scalar, I: Index>(
+    a: &CsrMatrix<T, I>,
+    b: &DenseMatrix<T>,
+    k: usize,
+    c: &mut DenseMatrix<T>,
+) -> bool {
+    macro_rules! call {
+        ($K:literal) => {
+            csr_spmm_const::<T, I, $K>(a, b, c)
+        };
+    }
+    dispatch_const_k!(k, call)
+}
+
+/// Const-`K` dispatcher for the serial COO kernel.
+pub fn coo_spmm_fixed_k<T: Scalar, I: Index>(
+    a: &CooMatrix<T, I>,
+    b: &DenseMatrix<T>,
+    k: usize,
+    c: &mut DenseMatrix<T>,
+) -> bool {
+    macro_rules! call {
+        ($K:literal) => {
+            coo_spmm_const::<T, I, $K>(a, b, c)
+        };
+    }
+    dispatch_const_k!(k, call)
+}
+
+/// Const-`K` dispatcher for the serial ELLPACK kernel.
+pub fn ell_spmm_fixed_k<T: Scalar, I: Index>(
+    a: &EllMatrix<T, I>,
+    b: &DenseMatrix<T>,
+    k: usize,
+    c: &mut DenseMatrix<T>,
+) -> bool {
+    macro_rules! call {
+        ($K:literal) => {
+            ell_spmm_const::<T, I, $K>(a, b, c)
+        };
+    }
+    dispatch_const_k!(k, call)
+}
+
+/// Const-`K` dispatcher for the serial BCSR kernel.
+pub fn bcsr_spmm_fixed_k<T: Scalar, I: Index>(
+    a: &BcsrMatrix<T, I>,
+    b: &DenseMatrix<T>,
+    k: usize,
+    c: &mut DenseMatrix<T>,
+) -> bool {
+    macro_rules! call {
+        ($K:literal) => {
+            bcsr_spmm_const::<T, I, $K>(a, b, c)
+        };
+    }
+    dispatch_const_k!(k, call)
+}
+
+/// Const-`K` dispatcher for the parallel CSR kernel.
+pub fn csr_spmm_fixed_k_parallel<T: Scalar, I: Index>(
+    pool: &ThreadPool,
+    threads: usize,
+    schedule: Schedule,
+    a: &CsrMatrix<T, I>,
+    b: &DenseMatrix<T>,
+    k: usize,
+    c: &mut DenseMatrix<T>,
+) -> bool {
+    macro_rules! call {
+        ($K:literal) => {
+            csr_spmm_const_parallel::<T, I, $K>(pool, threads, schedule, a, b, c)
+        };
+    }
+    dispatch_const_k!(k, call)
+}
+
+/// Const-`K` dispatcher for the parallel ELLPACK kernel.
+pub fn ell_spmm_fixed_k_parallel<T: Scalar, I: Index>(
+    pool: &ThreadPool,
+    threads: usize,
+    schedule: Schedule,
+    a: &EllMatrix<T, I>,
+    b: &DenseMatrix<T>,
+    k: usize,
+    c: &mut DenseMatrix<T>,
+) -> bool {
+    macro_rules! call {
+        ($K:literal) => {
+            ell_spmm_const_parallel::<T, I, $K>(pool, threads, schedule, a, b, c)
+        };
+    }
+    dispatch_const_k!(k, call)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> (CooMatrix<f64>, DenseMatrix<f64>) {
+        let mut trips = Vec::new();
+        for i in 0..30usize {
+            for d in 0..(i % 5 + 1) {
+                trips.push((i, (i * 3 + d * 7) % 20, (i as f64 - d as f64) * 0.5 + 1.0));
+            }
+        }
+        let coo = CooMatrix::from_triplets(30, 20, &trips).unwrap();
+        let b = DenseMatrix::from_fn(20, 64, |i, j| ((i * 7 + j) % 13) as f64 - 6.0);
+        (coo, b)
+    }
+
+    #[test]
+    fn const_k_kernels_match_reference() {
+        let (coo, b) = fixture();
+        let csr = CsrMatrix::from_coo(&coo);
+        let ell = EllMatrix::from_coo(&coo);
+        let bcsr = BcsrMatrix::from_coo(&coo, 3).unwrap();
+        for k in [8usize, 16, 32, 64] {
+            let expected = coo.spmm_reference_k(&b, k);
+            let mut c = DenseMatrix::zeros(30, k);
+            assert!(csr_spmm_fixed_k(&csr, &b, k, &mut c), "k={k}");
+            assert_eq!(c, expected, "csr k={k}");
+            assert!(coo_spmm_fixed_k(&coo, &b, k, &mut c));
+            assert_eq!(c, expected, "coo k={k}");
+            assert!(ell_spmm_fixed_k(&ell, &b, k, &mut c));
+            assert_eq!(c, expected, "ell k={k}");
+            assert!(bcsr_spmm_fixed_k(&bcsr, &b, k, &mut c));
+            assert_eq!(c, expected, "bcsr k={k}");
+        }
+    }
+
+    #[test]
+    fn unsupported_k_reports_false_and_leaves_c_alone() {
+        let (coo, b) = fixture();
+        let csr = CsrMatrix::from_coo(&coo);
+        let mut c = DenseMatrix::from_fn(30, 7, |_, _| 42.0);
+        assert!(!csr_spmm_fixed_k(&csr, &b, 7, &mut c));
+        assert!(c.as_slice().iter().all(|&v| v == 42.0));
+    }
+
+    #[test]
+    fn parallel_const_k_matches() {
+        let pool = ThreadPool::new(4);
+        let (coo, b) = fixture();
+        let csr = CsrMatrix::from_coo(&coo);
+        let ell = EllMatrix::from_coo(&coo);
+        let expected = coo.spmm_reference_k(&b, 32);
+        let mut c = DenseMatrix::zeros(30, 32);
+        assert!(csr_spmm_fixed_k_parallel(
+            &pool, 4, Schedule::Static, &csr, &b, 32, &mut c
+        ));
+        assert_eq!(c, expected);
+        assert!(ell_spmm_fixed_k_parallel(
+            &pool, 3, Schedule::Dynamic(2), &ell, &b, 32, &mut c
+        ));
+        assert_eq!(c, expected);
+    }
+
+    #[test]
+    fn coo_run_accumulator_handles_gaps_and_tail() {
+        // Rows 0 and 29 populated with a long empty gap between; the
+        // carried accumulator must flush correctly at both row change and
+        // end of stream.
+        let coo =
+            CooMatrix::<f64>::from_triplets(30, 8, &[(0, 1, 2.0), (0, 2, 3.0), (29, 7, 4.0)])
+                .unwrap();
+        let b = DenseMatrix::from_fn(8, 8, |i, j| (i + j) as f64);
+        let expected = coo.spmm_reference(&b);
+        let mut c = DenseMatrix::zeros(30, 8);
+        assert!(coo_spmm_fixed_k(&coo, &b, 8, &mut c));
+        assert_eq!(c, expected);
+    }
+
+    #[test]
+    fn supported_k_list_is_dispatchable() {
+        let (coo, b16) = fixture();
+        let csr = CsrMatrix::from_coo(&coo);
+        // b only has 64 columns; widen for the big K values.
+        let b = DenseMatrix::from_fn(20, 512, |i, j| b16.get(i, j % 64));
+        for &k in &SUPPORTED_K {
+            let mut c = DenseMatrix::zeros(30, k);
+            assert!(csr_spmm_fixed_k(&csr, &b, k, &mut c), "k={k}");
+            assert_eq!(c, coo.spmm_reference_k(&b, k), "k={k}");
+        }
+    }
+}

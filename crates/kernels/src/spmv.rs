@@ -1,0 +1,280 @@
+//! Sparse matrix–vector (SpMV) kernels — the paper's §6.3.4 extension.
+//!
+//! The thesis notes that adding SpMV to the suite "should be trivial": the
+//! dense operand becomes a vector. These kernels are exactly the SpMM
+//! kernels with the k loop collapsed, so SpMV and SpMM studies can share
+//! one suite and produce comparable numbers.
+
+use spmm_core::{BcsrMatrix, CooMatrix, CsrMatrix, EllMatrix, Index, Scalar};
+use spmm_parallel::{Schedule, ThreadPool};
+
+use crate::util::DisjointSlice;
+
+#[inline]
+fn check_spmv_shapes<T>(a_rows: usize, a_cols: usize, x: &[T], y: &[T]) {
+    assert_eq!(a_cols, x.len(), "A has {a_cols} cols but x has {}", x.len());
+    assert_eq!(a_rows, y.len(), "A has {a_rows} rows but y has {}", y.len());
+}
+
+/// Serial COO SpMV.
+pub fn coo_spmv<T: Scalar, I: Index>(a: &CooMatrix<T, I>, x: &[T], y: &mut [T]) {
+    check_spmv_shapes(a.rows(), a.cols(), x, y);
+    y.fill(T::ZERO);
+    for (r, j, v) in a.iter() {
+        y[r] = v.mul_add(x[j], y[r]);
+    }
+}
+
+/// Serial CSR SpMV.
+pub fn csr_spmv<T: Scalar, I: Index>(a: &CsrMatrix<T, I>, x: &[T], y: &mut [T]) {
+    check_spmv_shapes(a.rows(), a.cols(), x, y);
+    for i in 0..a.rows() {
+        let (cols, vals) = a.row(i);
+        let mut acc = T::ZERO;
+        for (&j, &v) in cols.iter().zip(vals) {
+            acc = v.mul_add(x[j.as_usize()], acc);
+        }
+        y[i] = acc;
+    }
+}
+
+/// Serial ELLPACK SpMV.
+pub fn ell_spmv<T: Scalar, I: Index>(a: &EllMatrix<T, I>, x: &[T], y: &mut [T]) {
+    check_spmv_shapes(a.rows(), a.cols(), x, y);
+    for i in 0..a.rows() {
+        let mut acc = T::ZERO;
+        for (&j, &v) in a.row_cols(i).iter().zip(a.row_vals(i)) {
+            acc = v.mul_add(x[j.as_usize()], acc);
+        }
+        y[i] = acc;
+    }
+}
+
+/// Serial BCSR SpMV.
+pub fn bcsr_spmv<T: Scalar, I: Index>(a: &BcsrMatrix<T, I>, x: &[T], y: &mut [T]) {
+    check_spmv_shapes(a.rows(), a.cols(), x, y);
+    y.fill(T::ZERO);
+    let (r, bc_w) = (a.block_r(), a.block_c());
+    let rows = a.rows();
+    let cols = a.cols();
+    for bi in 0..a.block_rows() {
+        let row_lo = bi * r;
+        let row_hi = (row_lo + r).min(rows);
+        for (bcol, block) in a.block_row(bi) {
+            let col_lo = bcol * bc_w;
+            for i in row_lo..row_hi {
+                let brow = &block[(i - row_lo) * bc_w..(i - row_lo + 1) * bc_w];
+                let mut acc = y[i];
+                for (lc, &v) in brow.iter().enumerate() {
+                    let j = col_lo + lc;
+                    if j < cols {
+                        acc = v.mul_add(x[j], acc);
+                    }
+                }
+                y[i] = acc;
+            }
+        }
+    }
+}
+
+/// Parallel CSR SpMV (row loop).
+pub fn csr_spmv_parallel<T: Scalar, I: Index>(
+    pool: &ThreadPool,
+    threads: usize,
+    schedule: Schedule,
+    a: &CsrMatrix<T, I>,
+    x: &[T],
+    y: &mut [T],
+) {
+    check_spmv_shapes(a.rows(), a.cols(), x, y);
+    let y_slice = DisjointSlice::new(y);
+    pool.parallel_for(threads, 0..a.rows(), schedule, |rows| {
+        for i in rows {
+            let (cols, vals) = a.row(i);
+            let mut acc = T::ZERO;
+            for (&j, &v) in cols.iter().zip(vals) {
+                acc = v.mul_add(x[j.as_usize()], acc);
+            }
+            // SAFETY: disjoint row ranges give exclusive access to y[i].
+            unsafe { y_slice.slice_mut(i, 1)[0] = acc };
+        }
+    });
+}
+
+/// Parallel ELLPACK SpMV (row loop).
+pub fn ell_spmv_parallel<T: Scalar, I: Index>(
+    pool: &ThreadPool,
+    threads: usize,
+    schedule: Schedule,
+    a: &EllMatrix<T, I>,
+    x: &[T],
+    y: &mut [T],
+) {
+    check_spmv_shapes(a.rows(), a.cols(), x, y);
+    let y_slice = DisjointSlice::new(y);
+    pool.parallel_for(threads, 0..a.rows(), schedule, |rows| {
+        for i in rows {
+            let mut acc = T::ZERO;
+            for (&j, &v) in a.row_cols(i).iter().zip(a.row_vals(i)) {
+                acc = v.mul_add(x[j.as_usize()], acc);
+            }
+            // SAFETY: as above.
+            unsafe { y_slice.slice_mut(i, 1)[0] = acc };
+        }
+    });
+}
+
+/// Parallel COO SpMV over row-aligned entry ranges.
+pub fn coo_spmv_parallel<T: Scalar, I: Index>(
+    pool: &ThreadPool,
+    threads: usize,
+    a: &CooMatrix<T, I>,
+    x: &[T],
+    y: &mut [T],
+) {
+    check_spmv_shapes(a.rows(), a.cols(), x, y);
+    y.fill(T::ZERO);
+    let nnz = a.nnz();
+    if nnz == 0 {
+        return;
+    }
+    let threads = threads.max(1).min(nnz);
+    let rows_of = a.row_indices();
+    let mut bounds = Vec::with_capacity(threads + 1);
+    bounds.push(0);
+    for t in 1..threads {
+        let mut at = t * nnz / threads;
+        while at > 0 && at < nnz && rows_of[at] == rows_of[at - 1] {
+            at += 1;
+        }
+        bounds.push(at.min(nnz));
+    }
+    bounds.push(nnz);
+    let y_slice = DisjointSlice::new(y);
+    let bounds_ref = &bounds;
+    pool.broadcast(threads, |tid| {
+        for e in bounds_ref[tid]..bounds_ref[tid + 1] {
+            let r = rows_of[e].as_usize();
+            // SAFETY: row-aligned boundaries keep rows thread-exclusive.
+            let yr = unsafe { &mut y_slice.slice_mut(r, 1)[0] };
+            *yr = a.values()[e].mul_add(x[a.col_indices()[e].as_usize()], *yr);
+        }
+    });
+}
+
+/// Parallel BCSR SpMV (block-row loop).
+pub fn bcsr_spmv_parallel<T: Scalar, I: Index>(
+    pool: &ThreadPool,
+    threads: usize,
+    schedule: Schedule,
+    a: &BcsrMatrix<T, I>,
+    x: &[T],
+    y: &mut [T],
+) {
+    check_spmv_shapes(a.rows(), a.cols(), x, y);
+    let (r, bc_w) = (a.block_r(), a.block_c());
+    let rows = a.rows();
+    let cols = a.cols();
+    let y_slice = DisjointSlice::new(y);
+    pool.parallel_for(threads, 0..a.block_rows(), schedule, |block_rows| {
+        for bi in block_rows {
+            let row_lo = bi * r;
+            let row_hi = (row_lo + r).min(rows);
+            // SAFETY: block rows partition the rows disjointly.
+            let y_rows = unsafe { y_slice.slice_mut(row_lo, row_hi - row_lo) };
+            y_rows.fill(T::ZERO);
+            for (bcol, block) in a.block_row(bi) {
+                let col_lo = bcol * bc_w;
+                for i in row_lo..row_hi {
+                    let brow = &block[(i - row_lo) * bc_w..(i - row_lo + 1) * bc_w];
+                    let mut acc = y_rows[i - row_lo];
+                    for (lc, &v) in brow.iter().enumerate() {
+                        let j = col_lo + lc;
+                        if j < cols {
+                            acc = v.mul_add(x[j], acc);
+                        }
+                    }
+                    y_rows[i - row_lo] = acc;
+                }
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> (CooMatrix<f64>, Vec<f64>) {
+        let coo = CooMatrix::from_triplets(
+            7,
+            5,
+            &[
+                (0, 0, 2.0),
+                (1, 1, -1.0),
+                (1, 4, 3.0),
+                (3, 2, 4.0),
+                (3, 3, 5.0),
+                (6, 0, 6.0),
+                (6, 4, 7.0),
+            ],
+        )
+        .unwrap();
+        let x = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        (coo, x)
+    }
+
+    #[test]
+    fn serial_spmv_matches_reference() {
+        let (coo, x) = fixture();
+        let expected = coo.spmv_reference(&x);
+        let mut y = vec![0.0; 7];
+        coo_spmv(&coo, &x, &mut y);
+        assert_eq!(y, expected);
+        csr_spmv(&CsrMatrix::from_coo(&coo), &x, &mut y);
+        assert_eq!(y, expected);
+        ell_spmv(&EllMatrix::from_coo(&coo), &x, &mut y);
+        assert_eq!(y, expected);
+        bcsr_spmv(&BcsrMatrix::from_coo(&coo, 2).unwrap(), &x, &mut y);
+        assert_eq!(y, expected);
+    }
+
+    #[test]
+    fn parallel_spmv_matches_reference() {
+        let (coo, x) = fixture();
+        let expected = coo.spmv_reference(&x);
+        let pool = ThreadPool::new(4);
+        for t in [1, 2, 5] {
+            let mut y = vec![9.0; 7];
+            coo_spmv_parallel(&pool, t, &coo, &x, &mut y);
+            assert_eq!(y, expected, "coo t={t}");
+            csr_spmv_parallel(&pool, t, Schedule::Static, &CsrMatrix::from_coo(&coo), &x, &mut y);
+            assert_eq!(y, expected, "csr t={t}");
+            ell_spmv_parallel(&pool, t, Schedule::Dynamic(1), &EllMatrix::from_coo(&coo), &x, &mut y);
+            assert_eq!(y, expected, "ell t={t}");
+            bcsr_spmv_parallel(
+                &pool,
+                t,
+                Schedule::Static,
+                &BcsrMatrix::from_coo(&coo, 3).unwrap(),
+                &x,
+                &mut y,
+            );
+            assert_eq!(y, expected, "bcsr t={t}");
+        }
+    }
+
+    #[test]
+    fn spmv_equals_spmm_first_column() {
+        // The batched-vectors story of §2.3: SpMV is SpMM with k = 1.
+        let (coo, x) = fixture();
+        let b = spmm_core::DenseMatrix::from_vec(5, 1, x.clone()).unwrap();
+        let mut c = spmm_core::DenseMatrix::zeros(7, 1);
+        crate::serial::csr_spmm(&CsrMatrix::from_coo(&coo), &b, 1, &mut c);
+        let mut y = vec![0.0; 7];
+        csr_spmv(&CsrMatrix::from_coo(&coo), &x, &mut y);
+        for i in 0..7 {
+            assert_eq!(y[i], c.get(i, 0));
+        }
+    }
+}

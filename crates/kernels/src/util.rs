@@ -1,0 +1,77 @@
+//! Internal helpers shared by the parallel kernels.
+
+use std::marker::PhantomData;
+
+/// A shareable pointer to a mutable slice for parallel kernels that write
+/// disjoint regions (distinct C rows / block rows / tiles) from multiple
+/// threads.
+pub(crate) struct DisjointSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: every user hands out non-overlapping sub-slices (asserted in
+// `slice_mut`); the underlying `&mut [T]` outlives the parallel region
+// because the pool blocks until all participants finish.
+unsafe impl<T: Send> Send for DisjointSlice<'_, T> {}
+unsafe impl<T: Send> Sync for DisjointSlice<'_, T> {}
+
+impl<'a, T> DisjointSlice<'a, T> {
+    pub(crate) fn new(slice: &'a mut [T]) -> Self {
+        DisjointSlice { ptr: slice.as_mut_ptr(), len: slice.len(), _marker: PhantomData }
+    }
+
+    /// A mutable view of `start..start + len`.
+    ///
+    /// # Safety
+    /// Callers must guarantee no two live views overlap.
+    // The `&self -> &mut` shape is the point of this type: it is the
+    // aliasing escape hatch the parallel kernels build their disjointness
+    // argument on (clippy::mut_from_ref flags exactly this pattern).
+    #[allow(clippy::mut_from_ref)]
+    #[inline(always)]
+    pub(crate) unsafe fn slice_mut(&self, start: usize, len: usize) -> &mut [T] {
+        debug_assert!(start + len <= self.len, "disjoint slice out of bounds");
+        std::slice::from_raw_parts_mut(self.ptr.add(start), len)
+    }
+}
+
+/// `c_row[..] += a * b_row[..]` over exactly `k` leading elements.
+///
+/// The slice re-borrow (`&b_row[..k]`) pins both lengths so LLVM drops the
+/// bounds checks and vectorizes the loop.
+#[inline(always)]
+pub(crate) fn axpy<T: spmm_core::Scalar>(c_row: &mut [T], a: T, b_row: &[T], k: usize) {
+    let c_row = &mut c_row[..k];
+    let b_row = &b_row[..k];
+    for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+        *cv = a.mul_add(bv, *cv);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axpy_accumulates_prefix_only() {
+        let mut c = vec![1.0f64; 6];
+        let b = vec![2.0f64; 6];
+        axpy(&mut c, 3.0, &b, 4);
+        assert_eq!(c, vec![7.0, 7.0, 7.0, 7.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn disjoint_slice_subviews() {
+        let mut data = vec![0u32; 10];
+        let ds = DisjointSlice::new(&mut data);
+        // Two non-overlapping views, used here on one thread.
+        let a = unsafe { ds.slice_mut(0, 5) };
+        let b = unsafe { ds.slice_mut(5, 5) };
+        a.fill(1);
+        b.fill(2);
+        assert_eq!(data[4], 1);
+        assert_eq!(data[5], 2);
+    }
+}

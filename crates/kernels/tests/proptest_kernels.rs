@@ -1,0 +1,136 @@
+//! Property tests on the kernel layer: every (format × backend × variant ×
+//! schedule × k) kernel computes the COO reference result.
+
+use proptest::prelude::*;
+use spmm_core::{max_rel_error, CooMatrix, DenseMatrix, SparseFormat};
+use spmm_kernels::FormatData;
+use spmm_parallel::{Schedule, ThreadPool};
+
+fn sparse_matrix() -> impl Strategy<Value = CooMatrix<f64>> {
+    (1usize..40, 1usize..40).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(
+            (0..rows, 0..cols, -64i32..64).prop_map(|(r, c, v)| (r, c, v as f64 / 8.0)),
+            0..120,
+        )
+        .prop_map(move |trips| CooMatrix::from_triplets(rows, cols, &trips).expect("in bounds"))
+    })
+}
+
+fn pool() -> &'static ThreadPool {
+    spmm_parallel::global_pool()
+}
+
+const TOL: f64 = 1e-9;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn serial_kernels_equal_reference(
+        coo in sparse_matrix(),
+        k in 1usize..10,
+        block in 1usize..5,
+    ) {
+        let b = DenseMatrix::from_fn(coo.cols(), k, |i, j| ((i * 13 + j * 5) % 11) as f64 - 5.0);
+        let expected = coo.spmm_reference_k(&b, k);
+        for format in SparseFormat::ALL {
+            let data = FormatData::from_coo(format, &coo, block).expect("constructs");
+            let mut c = DenseMatrix::from_fn(coo.rows(), k, |_, _| 42.0);
+            data.spmm_serial(&b, k, &mut c);
+            prop_assert!(
+                max_rel_error(&c, &expected) < TOL,
+                "{format} serial diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_kernels_equal_reference(
+        coo in sparse_matrix(),
+        k in 1usize..8,
+        threads in 1usize..7,
+        sched_idx in 0usize..3,
+    ) {
+        let schedule = [Schedule::Static, Schedule::Dynamic(2), Schedule::Guided(1)][sched_idx];
+        let b = DenseMatrix::from_fn(coo.cols(), k, |i, j| ((i * 3 + j * 7) % 13) as f64 - 6.0);
+        let expected = coo.spmm_reference_k(&b, k);
+        for format in SparseFormat::ALL {
+            let data = FormatData::from_coo(format, &coo, 3).expect("constructs");
+            let mut c = DenseMatrix::from_fn(coo.rows(), k, |_, _| -7.0);
+            data.spmm_parallel(pool(), threads, schedule, &b, k, &mut c);
+            prop_assert!(
+                max_rel_error(&c, &expected) < TOL,
+                "{format} parallel t={threads} {schedule:?} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn transposed_b_kernels_equal_reference(
+        coo in sparse_matrix(),
+        k in 1usize..8,
+        threads in 1usize..5,
+    ) {
+        let b = DenseMatrix::from_fn(coo.cols(), k, |i, j| ((i + j * 3) % 9) as f64 - 4.0);
+        let bt = b.transposed();
+        let expected = coo.spmm_reference_k(&b, k);
+        for format in SparseFormat::PAPER {
+            let data = FormatData::from_coo(format, &coo, 2).expect("constructs");
+            let mut c = DenseMatrix::zeros(coo.rows(), k);
+            prop_assert!(data.spmm_serial_bt(&bt, k, &mut c));
+            prop_assert!(max_rel_error(&c, &expected) < TOL, "{format} serial bt");
+            let mut c = DenseMatrix::zeros(coo.rows(), k);
+            prop_assert!(data.spmm_parallel_bt(pool(), threads, Schedule::Static, &bt, k, &mut c));
+            prop_assert!(max_rel_error(&c, &expected) < TOL, "{format} parallel bt");
+        }
+    }
+
+    #[test]
+    fn fixed_k_kernels_equal_reference(coo in sparse_matrix()) {
+        // Use k = 8: the smallest const instantiation.
+        let k = 8;
+        let b = DenseMatrix::from_fn(coo.cols(), k, |i, j| ((i * 11 + j) % 5) as f64 - 2.0);
+        let expected = coo.spmm_reference_k(&b, k);
+        for format in SparseFormat::PAPER {
+            let data = FormatData::from_coo(format, &coo, 2).expect("constructs");
+            let mut c = DenseMatrix::zeros(coo.rows(), k);
+            prop_assert!(data.spmm_serial_fixed_k(&b, k, &mut c), "{format} fixed-k");
+            prop_assert!(max_rel_error(&c, &expected) < TOL, "{format} fixed-k diverged");
+        }
+    }
+
+    #[test]
+    fn spmv_equals_reference(coo in sparse_matrix(), threads in 1usize..5) {
+        let x: Vec<f64> = (0..coo.cols()).map(|i| ((i * 7) % 9) as f64 - 4.0).collect();
+        let expected = coo.spmv_reference(&x);
+        for format in SparseFormat::PAPER {
+            let data = FormatData::from_coo(format, &coo, 2).expect("constructs");
+            let mut y = vec![1.0; coo.rows()];
+            prop_assert!(data.spmv_serial(&x, &mut y));
+            for (a, b) in y.iter().zip(&expected) {
+                prop_assert!((a - b).abs() < TOL, "{format} spmv serial");
+            }
+            let mut y = vec![-1.0; coo.rows()];
+            prop_assert!(data.spmv_parallel(pool(), threads, Schedule::Dynamic(1), &x, &mut y));
+            for (a, b) in y.iter().zip(&expected) {
+                prop_assert!((a - b).abs() < TOL, "{format} spmv parallel");
+            }
+        }
+    }
+
+    #[test]
+    fn k_prefix_consistency(coo in sparse_matrix(), k_small in 1usize..5) {
+        // Computing with a smaller k must equal the prefix of a larger-k
+        // result: the k-loop only truncates columns.
+        let k_big = k_small + 3;
+        let b = DenseMatrix::from_fn(coo.cols(), k_big, |i, j| ((i + 2 * j) % 7) as f64);
+        let data = FormatData::from_coo(SparseFormat::Csr, &coo, 1).expect("constructs");
+        let mut c_small = DenseMatrix::zeros(coo.rows(), k_small);
+        let mut c_big = DenseMatrix::zeros(coo.rows(), k_big);
+        data.spmm_serial(&b, k_small, &mut c_small);
+        data.spmm_serial(&b, k_big, &mut c_big);
+        for i in 0..coo.rows() {
+            prop_assert_eq!(c_small.row(i), &c_big.row(i)[..k_small]);
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Structural sparse-matrix generators.
+//!
+//! Each generator controls the distribution of nonzeros per row — the
+//! quantity Table 5.1 shows drives format behaviour — and the spatial
+//! placement of those nonzeros (clustered near the diagonal vs. scattered),
+//! which §6.2 identifies as the second-order effect blocking lives or dies
+//! by.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spmm_core::CooMatrix;
+
+/// Sample a row degree from a clamped normal distribution (Box–Muller).
+fn sample_degree(rng: &mut StdRng, avg: f64, std_dev: f64, max: usize) -> usize {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    let d = (avg + std_dev * z).round();
+    (d.max(1.0) as usize).min(max.max(1))
+}
+
+fn random_value(rng: &mut StdRng) -> f64 {
+    rng.gen_range(-1.0..1.0)
+}
+
+/// Banded / FEM-style matrix: each row's nonzeros form a contiguous run
+/// near the diagonal, optionally aligned to `block_align` boundaries
+/// (mimicking FEM multi-DOF node blocks — the structure BCSR exploits).
+///
+/// Row degrees follow `N(avg_deg, std_dev)` clamped to `[1, max_deg]`; one
+/// row is forced to exactly `max_deg` so the Table 5.1 "Max" column is hit.
+pub fn banded(
+    rows: usize,
+    avg_deg: f64,
+    std_dev: f64,
+    max_deg: usize,
+    block_align: usize,
+    seed: u64,
+) -> CooMatrix<f64> {
+    let cols = rows;
+    let align = block_align.max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = CooMatrix::new(rows, cols);
+    let forced_max_row = if rows > 0 { rng.gen_range(0..rows) } else { 0 };
+    for i in 0..rows {
+        let deg = if i == forced_max_row {
+            max_deg.min(cols).max(1)
+        } else {
+            sample_degree(&mut rng, avg_deg, std_dev, max_deg.min(cols))
+        };
+        // Center the run on the diagonal, snapped to the block grid.
+        let half = deg / 2;
+        let start = i.saturating_sub(half) / align * align;
+        let start = start.min(cols.saturating_sub(deg));
+        for j in start..start + deg {
+            coo.push(i, j, random_value(&mut rng)).expect("generator stays in bounds");
+        }
+    }
+    coo.sort_and_sum_duplicates();
+    coo
+}
+
+/// Fixed-offset stencil matrix (e.g. `dw4096`/`shallow_water1`-like grids):
+/// every interior row has exactly `offsets.len()` nonzeros at the given
+/// diagonal offsets. Perfectly regular — the best case for ELLPACK.
+pub fn stencil(rows: usize, offsets: &[isize], seed: u64) -> CooMatrix<f64> {
+    let cols = rows;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = CooMatrix::new(rows, cols);
+    for i in 0..rows {
+        for &off in offsets {
+            let j = i as isize + off;
+            if (0..cols as isize).contains(&j) {
+                coo.push(i, j as usize, random_value(&mut rng))
+                    .expect("generator stays in bounds");
+            }
+        }
+    }
+    coo.sort_and_sum_duplicates();
+    coo
+}
+
+/// Heavy-row power-law matrix (`torso1`-like): a banded bulk at `avg_deg`
+/// plus `heavy_rows` rows of `heavy_deg` nonzeros scattered *uniformly*
+/// across the columns — the skew that breaks ELL (column ratio ≫ 1) and the
+/// scatter that defeats blocking.
+pub fn heavy_rows(
+    rows: usize,
+    avg_deg: f64,
+    std_dev: f64,
+    bulk_max_deg: usize,
+    heavy_rows: usize,
+    heavy_deg: usize,
+    seed: u64,
+) -> CooMatrix<f64> {
+    let cols = rows;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = CooMatrix::new(rows, cols);
+    let heavy_deg = heavy_deg.min(cols).max(1);
+    let stride = rows / heavy_rows.max(1).min(rows.max(1)).max(1);
+    for i in 0..rows {
+        let is_heavy = heavy_rows > 0 && stride > 0 && i % stride == 0 && i / stride < heavy_rows;
+        if is_heavy {
+            // Scattered: distinct uniform columns, so the row degree (and
+            // thus the column ratio) is exact even in small replicas.
+            for j in rand::seq::index::sample(&mut rng, cols, heavy_deg) {
+                coo.push(i, j, random_value(&mut rng)).expect("in bounds");
+            }
+        } else {
+            let deg = sample_degree(&mut rng, avg_deg, std_dev, bulk_max_deg.min(cols));
+            let half = deg / 2;
+            let start = i.saturating_sub(half).min(cols.saturating_sub(deg));
+            for j in start..start + deg {
+                coo.push(i, j, random_value(&mut rng)).expect("in bounds");
+            }
+        }
+    }
+    coo.sort_and_sum_duplicates();
+    coo
+}
+
+/// Uniform random matrix: `nnz` entries scattered uniformly (duplicates
+/// merged, so the realized count can be slightly lower). The classic
+/// worst case for every locality assumption; used by tests and fuzzing.
+pub fn uniform(rows: usize, cols: usize, nnz: usize, seed: u64) -> CooMatrix<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = CooMatrix::new(rows, cols);
+    for _ in 0..nnz {
+        let i = rng.gen_range(0..rows.max(1));
+        let j = rng.gen_range(0..cols.max(1));
+        coo.push(i, j, random_value(&mut rng)).expect("in bounds");
+    }
+    coo.sort_and_sum_duplicates();
+    coo
+}
+
+/// R-MAT power-law graph adjacency (Chakrabarti et al.): the structure of
+/// the GNN/graph-analytics workloads the paper's introduction motivates
+/// SpMM with. `scale` gives `2^scale` vertices; edges are dropped
+/// recursively into quadrants with probabilities `(a, b, c, 1-a-b-c)`.
+pub fn rmat(scale: u32, edges: usize, a: f64, b: f64, c: f64, seed: u64) -> CooMatrix<f64> {
+    assert!(a >= 0.0 && b >= 0.0 && c >= 0.0 && a + b + c <= 1.0, "quadrant probabilities");
+    let n = 1usize << scale;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = CooMatrix::new(n, n);
+    for _ in 0..edges {
+        let (mut row_lo, mut col_lo, mut half) = (0usize, 0usize, n / 2);
+        while half > 0 {
+            let p: f64 = rng.gen();
+            if p < a {
+                // top-left: nothing moves
+            } else if p < a + b {
+                col_lo += half;
+            } else if p < a + b + c {
+                row_lo += half;
+            } else {
+                row_lo += half;
+                col_lo += half;
+            }
+            half /= 2;
+        }
+        coo.push(row_lo, col_lo, random_value(&mut rng)).expect("in bounds");
+    }
+    coo.sort_and_sum_duplicates();
+    coo
+}
+
+/// A dense operand B filled with reproducible pseudo-random values.
+pub fn dense_b(rows: usize, cols: usize, seed: u64) -> spmm_core::DenseMatrix<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    spmm_core::DenseMatrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn banded_hits_degree_targets() {
+        let m = banded(2000, 20.0, 4.0, 40, 4, 1);
+        let p = m.properties();
+        assert!((p.avg_row_nnz - 20.0).abs() < 2.0, "avg {}", p.avg_row_nnz);
+        assert!(p.max_row_nnz <= 40);
+        assert!(p.max_row_nnz >= 30, "forced max row missing: {}", p.max_row_nnz);
+        // Banded: nonzeros stay near the diagonal.
+        assert!(p.bandwidth < 100, "bandwidth {}", p.bandwidth);
+    }
+
+    #[test]
+    fn banded_is_deterministic_per_seed() {
+        let a = banded(500, 8.0, 2.0, 16, 1, 7);
+        let b = banded(500, 8.0, 2.0, 16, 1, 7);
+        let c = banded(500, 8.0, 2.0, 16, 1, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn stencil_is_perfectly_regular_in_the_interior() {
+        let m = stencil(1000, &[-10, -1, 0, 1, 10], 3);
+        let p = m.properties();
+        assert_eq!(p.max_row_nnz, 5);
+        // Column ratio is ~1: the ELL-friendly case.
+        assert!(p.column_ratio < 1.2);
+        assert!(p.variance < 0.5);
+    }
+
+    #[test]
+    fn heavy_rows_produce_high_column_ratio() {
+        let m = heavy_rows(5000, 8.0, 2.0, 16, 5, 1500, 11);
+        let p = m.properties();
+        assert!(p.column_ratio > 20.0, "ratio {}", p.column_ratio);
+        assert!(p.max_row_nnz > 1000, "max {}", p.max_row_nnz);
+        // The bulk is still ~avg 8.
+        assert!(p.avg_row_nnz < 12.0, "avg {}", p.avg_row_nnz);
+    }
+
+    #[test]
+    fn uniform_scatters_everywhere() {
+        let m = uniform(300, 200, 4000, 5);
+        let p = m.properties();
+        assert!(p.nnz > 3800); // few collisions
+        assert!(p.bandwidth > 150); // no locality
+    }
+
+    #[test]
+    fn generators_never_exceed_bounds() {
+        for m in [
+            banded(97, 5.0, 3.0, 20, 4, 2),
+            stencil(97, &[-50, 0, 50], 2),
+            heavy_rows(97, 3.0, 1.0, 6, 2, 80, 2),
+            uniform(97, 53, 500, 2),
+        ] {
+            for (i, j, _) in m.iter() {
+                assert!(i < m.rows() && j < m.cols());
+            }
+            assert!(m.is_sorted());
+        }
+    }
+
+    #[test]
+    fn rmat_is_skewed_and_deterministic() {
+        let g = rmat(10, 8000, 0.57, 0.19, 0.19, 3);
+        assert_eq!(g.rows(), 1024);
+        let p = g.properties();
+        // Power-law: the hub rows dwarf the average.
+        assert!(p.column_ratio > 4.0, "ratio {}", p.column_ratio);
+        assert!(p.nnz > 5000, "heavy dedup: {}", p.nnz);
+        assert_eq!(g, rmat(10, 8000, 0.57, 0.19, 0.19, 3));
+        assert_ne!(g, rmat(10, 8000, 0.57, 0.19, 0.19, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "quadrant probabilities")]
+    fn rmat_rejects_bad_probabilities() {
+        rmat(4, 10, 0.6, 0.3, 0.3, 1);
+    }
+
+    #[test]
+    fn dense_b_shape_and_determinism() {
+        let a = dense_b(10, 4, 9);
+        let b = dense_b(10, 4, 9);
+        assert_eq!(a, b);
+        assert_eq!((a.rows(), a.cols()), (10, 4));
+    }
+}

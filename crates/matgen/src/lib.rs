@@ -1,0 +1,35 @@
+//! # spmm-matgen
+//!
+//! Input matrices for SpMM-Bench.
+//!
+//! The paper evaluates 14 matrices from the SuiteSparse collection. Those
+//! files are not redistributable here, so this crate provides:
+//!
+//! * [`mm`] — a MatrixMarket coordinate reader/writer, so real SuiteSparse
+//!   files can be dropped in when available (the suite's native load path);
+//! * [`gen`] — structural generators (banded/FEM, stencil, heavy-row
+//!   power-law, uniform random) that produce matrices with controlled
+//!   row-degree distributions;
+//! * [`suite`] — the paper's 14 matrices by name, as calibrated generator
+//!   configurations reproducing each one's Table 5.1 property vector
+//!   (size, nnz, max/avg nonzeros per row, column ratio, variance), with a
+//!   scale knob so laptop-sized replicas keep the same per-row shape.
+//!
+//! ```
+//! use spmm_matgen::suite;
+//!
+//! let spec = suite::by_name("torso1").unwrap();
+//! let m = spec.generate(0.05, 42); // 5%-scale replica, fixed seed
+//! let p = m.properties();
+//! // torso1's signature: a catastrophic column ratio (paper: 44).
+//! assert!(p.column_ratio > 10.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod gen;
+pub mod mm;
+pub mod suite;
+
+pub use suite::{by_name, full_suite, MatrixSpec, Structure};

@@ -1,0 +1,258 @@
+//! MatrixMarket coordinate I/O.
+//!
+//! The suite's native input path: SuiteSparse distributes its matrices as
+//! MatrixMarket files, which correspond one-to-one to COO storage (§4.1).
+//! Supports the `coordinate` layout with `real`, `integer` and `pattern`
+//! fields and `general`, `symmetric` and `skew-symmetric` symmetry.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use spmm_core::{CooMatrix, Scalar, SparseError};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Field {
+    Real,
+    Integer,
+    Pattern,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Symmetry {
+    General,
+    Symmetric,
+    SkewSymmetric,
+}
+
+/// Read a MatrixMarket coordinate file into COO.
+pub fn read_matrix_market<T: Scalar>(r: impl Read) -> Result<CooMatrix<T>, SparseError> {
+    let mut lines = BufReader::new(r).lines();
+
+    let header = lines
+        .next()
+        .ok_or_else(|| SparseError::Parse("empty file".into()))?
+        .map_err(SparseError::Io)?;
+    let tokens: Vec<&str> = header.split_whitespace().collect();
+    if tokens.len() < 5 || !tokens[0].eq_ignore_ascii_case("%%MatrixMarket") {
+        return Err(SparseError::Parse("missing %%MatrixMarket header".into()));
+    }
+    if !tokens[1].eq_ignore_ascii_case("matrix") || !tokens[2].eq_ignore_ascii_case("coordinate") {
+        return Err(SparseError::Parse(format!(
+            "unsupported object/format `{} {}` (only `matrix coordinate`)",
+            tokens[1], tokens[2]
+        )));
+    }
+    let field = match tokens[3].to_ascii_lowercase().as_str() {
+        "real" => Field::Real,
+        "integer" => Field::Integer,
+        "pattern" => Field::Pattern,
+        other => return Err(SparseError::Parse(format!("unsupported field `{other}`"))),
+    };
+    let symmetry = match tokens[4].to_ascii_lowercase().as_str() {
+        "general" => Symmetry::General,
+        "symmetric" => Symmetry::Symmetric,
+        "skew-symmetric" => Symmetry::SkewSymmetric,
+        other => return Err(SparseError::Parse(format!("unsupported symmetry `{other}`"))),
+    };
+
+    // Skip comments; the first non-comment line is the size line.
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let line = line.map_err(SparseError::Io)?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        size_line = Some(trimmed.to_string());
+        break;
+    }
+    let size_line = size_line.ok_or_else(|| SparseError::Parse("missing size line".into()))?;
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse::<usize>().map_err(|e| SparseError::Parse(format!("bad size `{t}`: {e}"))))
+        .collect::<Result<_, _>>()?;
+    let [rows, cols, nnz] = dims[..] else {
+        return Err(SparseError::Parse(format!("size line `{size_line}` needs 3 fields")));
+    };
+
+    let mut coo = CooMatrix::new(rows, cols);
+    let mut read_entries = 0usize;
+    for line in lines {
+        let line = line.map_err(SparseError::Io)?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let parse_idx = |t: Option<&str>| -> Result<usize, SparseError> {
+            let t = t.ok_or_else(|| SparseError::Parse(format!("short entry `{trimmed}`")))?;
+            let v: usize = t
+                .parse()
+                .map_err(|e| SparseError::Parse(format!("bad index `{t}`: {e}")))?;
+            if v == 0 {
+                return Err(SparseError::Parse("MatrixMarket indices are 1-based".into()));
+            }
+            Ok(v - 1)
+        };
+        let i = parse_idx(it.next())?;
+        let j = parse_idx(it.next())?;
+        let v = match field {
+            Field::Pattern => T::ONE,
+            Field::Real | Field::Integer => {
+                let t = it
+                    .next()
+                    .ok_or_else(|| SparseError::Parse(format!("entry `{trimmed}` missing value")))?;
+                T::from_f64(
+                    t.parse::<f64>()
+                        .map_err(|e| SparseError::Parse(format!("bad value `{t}`: {e}")))?,
+                )
+            }
+        };
+        coo.push(i, j, v)?;
+        match symmetry {
+            Symmetry::General => {}
+            Symmetry::Symmetric if i != j => coo.push(j, i, v)?,
+            Symmetry::SkewSymmetric if i != j => coo.push(j, i, -v)?,
+            _ => {}
+        }
+        read_entries += 1;
+    }
+    if read_entries != nnz {
+        return Err(SparseError::Parse(format!(
+            "size line promised {nnz} entries, file has {read_entries}"
+        )));
+    }
+    coo.sort_and_sum_duplicates();
+    Ok(coo)
+}
+
+/// Read a MatrixMarket file from disk.
+pub fn read_matrix_market_file<T: Scalar>(path: impl AsRef<Path>) -> Result<CooMatrix<T>, SparseError> {
+    read_matrix_market(std::fs::File::open(path)?)
+}
+
+/// Write a COO matrix as a `general real` MatrixMarket coordinate file.
+pub fn write_matrix_market<T: Scalar>(
+    m: &CooMatrix<T>,
+    mut w: impl Write,
+) -> Result<(), SparseError> {
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% generated by spmm-bench")?;
+    writeln!(w, "{} {} {}", m.rows(), m.cols(), m.nnz())?;
+    for (i, j, v) in m.iter() {
+        writeln!(w, "{} {} {:e}", i + 1, j + 1, v.to_f64())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use spmm_core::SparseMatrix as _;
+    use super::*;
+
+    #[test]
+    fn parses_general_real() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    % a comment\n\
+                    3 4 3\n\
+                    1 1 2.5\n\
+                    2 3 -1.0\n\
+                    3 4 4e2\n";
+        let m: CooMatrix<f64> = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!((m.rows(), m.cols(), m.nnz()), (3, 4, 3));
+        let items: Vec<_> = m.iter().collect();
+        assert_eq!(items, vec![(0, 0, 2.5), (1, 2, -1.0), (2, 3, 400.0)]);
+    }
+
+    #[test]
+    fn symmetric_mirrors_off_diagonal() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    3 3 3\n\
+                    1 1 1.0\n\
+                    2 1 2.0\n\
+                    3 2 3.0\n";
+        let m: CooMatrix<f64> = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.nnz(), 5); // 1 diagonal + 2 mirrored pairs
+        let d = m.to_dense();
+        assert_eq!(d.get(0, 1), 2.0);
+        assert_eq!(d.get(1, 0), 2.0);
+    }
+
+    #[test]
+    fn skew_symmetric_negates_mirror() {
+        let text = "%%MatrixMarket matrix coordinate real skew-symmetric\n\
+                    2 2 1\n\
+                    2 1 5.0\n";
+        let m: CooMatrix<f64> = read_matrix_market(text.as_bytes()).unwrap();
+        let d = m.to_dense();
+        assert_eq!(d.get(1, 0), 5.0);
+        assert_eq!(d.get(0, 1), -5.0);
+    }
+
+    #[test]
+    fn pattern_entries_get_unit_values() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+                    2 2 2\n\
+                    1 2\n\
+                    2 1\n";
+        let m: CooMatrix<f64> = read_matrix_market(text.as_bytes()).unwrap();
+        assert!(m.iter().all(|(_, _, v)| v == 1.0));
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let orig = CooMatrix::<f64>::from_triplets(
+            4,
+            3,
+            &[(0, 0, 1.5), (1, 2, -2.25), (3, 1, 1e-3)],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_matrix_market(&orig, &mut buf).unwrap();
+        let back: CooMatrix<f64> = read_matrix_market(buf.as_slice()).unwrap();
+        assert_eq!(back, orig);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        // Missing header.
+        assert!(read_matrix_market::<f64>("3 3 0\n".as_bytes()).is_err());
+        // Wrong object type.
+        assert!(read_matrix_market::<f64>(
+            "%%MatrixMarket vector coordinate real general\n1 1 0\n".as_bytes()
+        )
+        .is_err());
+        // Zero-based index.
+        assert!(read_matrix_market::<f64>(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 5.0\n".as_bytes()
+        )
+        .is_err());
+        // Entry count mismatch.
+        assert!(read_matrix_market::<f64>(
+            "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 5.0\n".as_bytes()
+        )
+        .is_err());
+        // Out-of-bounds entry.
+        assert!(read_matrix_market::<f64>(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 5.0\n".as_bytes()
+        )
+        .is_err());
+        // Dense (array) format unsupported.
+        assert!(read_matrix_market::<f64>(
+            "%%MatrixMarket matrix array real general\n2 2\n1.0\n".as_bytes()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("spmm_mm_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.mtx");
+        let orig = CooMatrix::<f64>::from_triplets(3, 3, &[(0, 1, 7.0), (2, 2, -1.0)]).unwrap();
+        write_matrix_market(&orig, std::fs::File::create(&path).unwrap()).unwrap();
+        let back: CooMatrix<f64> = read_matrix_market_file(&path).unwrap();
+        assert_eq!(back, orig);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,50 @@
+//! # spmm-parallel
+//!
+//! An OpenMP-like CPU parallel runtime for SpMM-Bench.
+//!
+//! The paper's CPU-parallel kernels are OpenMP `parallel for` loops whose
+//! thread count is a per-run benchmark parameter (`-t`, swept by Studies 3
+//! and 3.1). This crate reproduces that programming model in safe-to-use
+//! Rust: a persistent [`ThreadPool`] that can run a *scoped* parallel-for
+//! over an index range with a chosen [`Schedule`] and an arbitrary
+//! per-call thread count (including oversubscription, which Study 3.1
+//! explicitly exercises up to 72 threads).
+//!
+//! ```
+//! use spmm_parallel::{Schedule, ThreadPool};
+//!
+//! let pool = ThreadPool::new(4);
+//! let data: Vec<u64> = (0..1000).collect();
+//! let total = pool.parallel_sum(4, 0..data.len(), Schedule::Static, |range| {
+//!     range.map(|i| data[i]).sum::<u64>()
+//! });
+//! assert_eq!(total, 499_500);
+//! ```
+
+#![warn(missing_docs)]
+
+mod pool;
+mod schedule;
+
+pub use pool::ThreadPool;
+pub use schedule::Schedule;
+
+use std::sync::OnceLock;
+
+/// Upper bound on pool size: covers the paper's largest swept thread count
+/// (72 on Grace Hopper, 96 logical CPUs on Aries) with headroom.
+pub const MAX_THREADS: usize = 256;
+
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+
+/// The process-wide pool, grown on demand; mirrors OpenMP's implicit global
+/// thread team. Kernels take `&ThreadPool` so tests can use private pools.
+pub fn global_pool() -> &'static ThreadPool {
+    GLOBAL.get_or_init(|| ThreadPool::new(default_threads()))
+}
+
+/// Default thread count: the machine's available parallelism (OpenMP's
+/// default of one thread per logical CPU).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}

@@ -1,0 +1,308 @@
+//! The persistent worker pool behind every parallel kernel.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+
+use crate::schedule::WorkSource;
+use crate::{Schedule, MAX_THREADS};
+
+/// A countdown latch: the dispatcher waits until all participants finish.
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Latch { remaining: Mutex::new(count), done: Condvar::new() }
+    }
+
+    fn count_down(&self) {
+        let mut remaining = self.remaining.lock();
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut remaining = self.remaining.lock();
+        while *remaining > 0 {
+            self.done.wait(&mut remaining);
+        }
+    }
+}
+
+/// A dispatched parallel region. `body` is a lifetime-erased pointer to the
+/// caller's closure; safety rests on the dispatcher blocking on the latch
+/// before its stack frame (and thus the closure and its borrows) goes away.
+struct Job {
+    /// Type-erased `&dyn Fn(usize)` (thread-id -> work) from the caller.
+    body: *const (dyn Fn(usize) + Sync),
+    next_tid: AtomicUsize,
+    latch: Latch,
+}
+
+// SAFETY: `body` points at a `Sync` closure that outlives the job (the
+// dispatcher waits on `latch` before returning), so sharing the pointer
+// across worker threads is sound.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+/// A persistent pool of worker threads executing scoped parallel regions.
+///
+/// Unlike OpenMP's implicit team, the participant count is chosen *per
+/// call*, so one pool serves the whole thread-count sweep of Studies 3 and
+/// 3.1. The pool grows lazily up to [`MAX_THREADS`] workers; the calling
+/// thread always participates as thread 0 (OpenMP's master).
+pub struct ThreadPool {
+    sender: Sender<Arc<Job>>,
+    receiver: Receiver<Arc<Job>>,
+    spawned: Mutex<usize>,
+}
+
+impl ThreadPool {
+    /// Create a pool with `threads` total participants available
+    /// (including the caller; `threads - 1` workers are spawned eagerly).
+    pub fn new(threads: usize) -> Self {
+        let (sender, receiver) = unbounded::<Arc<Job>>();
+        let pool = ThreadPool { sender, receiver, spawned: Mutex::new(0) };
+        pool.ensure_workers(threads.saturating_sub(1));
+        pool
+    }
+
+    /// Spawn workers until at least `want` exist.
+    fn ensure_workers(&self, want: usize) {
+        let want = want.min(MAX_THREADS);
+        let mut spawned = self.spawned.lock();
+        while *spawned < want {
+            let rx = self.receiver.clone();
+            std::thread::Builder::new()
+                .name(format!("spmm-worker-{}", *spawned))
+                .spawn(move || {
+                    for job in rx.iter() {
+                        let tid = job.next_tid.fetch_add(1, Ordering::Relaxed);
+                        // SAFETY: see `Job` — the closure outlives the job.
+                        let body = unsafe { &*job.body };
+                        body(tid);
+                        job.latch.count_down();
+                    }
+                })
+                .expect("failed to spawn pool worker");
+            *spawned += 1;
+        }
+    }
+
+    /// Number of worker threads currently alive (excluding the caller).
+    pub fn workers(&self) -> usize {
+        *self.spawned.lock()
+    }
+
+    /// Run `body(tid)` on `threads` participants (caller = tid 0), blocking
+    /// until every participant finishes. This is the `#pragma omp parallel`
+    /// region; [`ThreadPool::parallel_for`] layers the loop on top.
+    pub fn broadcast<F>(&self, threads: usize, body: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let threads = threads.max(1);
+        if threads == 1 {
+            body(0);
+            return;
+        }
+        self.ensure_workers(threads - 1);
+
+        let body_ref: &(dyn Fn(usize) + Sync) = &body;
+        // SAFETY: erase the lifetime; we block on the latch below, so the
+        // closure reference never outlives this frame.
+        let body_static: *const (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute(body_ref) };
+        let job = Arc::new(Job {
+            body: body_static,
+            next_tid: AtomicUsize::new(1),
+            latch: Latch::new(threads - 1),
+        });
+        for _ in 1..threads {
+            self.sender.send(job.clone()).expect("pool channel closed");
+        }
+        body(0);
+        job.latch.wait();
+    }
+
+    /// Parallel loop over `range`: each participant receives sub-ranges per
+    /// `schedule` and runs `body` on them. Equivalent to
+    /// `#pragma omp parallel for schedule(...) num_threads(threads)`.
+    pub fn parallel_for<F>(&self, threads: usize, range: Range<usize>, schedule: Schedule, body: F)
+    where
+        F: Fn(Range<usize>) + Sync,
+    {
+        let threads = threads.max(1).min(range.len().max(1));
+        if threads == 1 {
+            if !range.is_empty() {
+                body(range);
+            }
+            return;
+        }
+        let source = WorkSource::new(range, threads, schedule);
+        self.broadcast(threads, |tid| {
+            let mut taken = false;
+            while let Some(chunk) = source.next(tid, &mut taken) {
+                body(chunk);
+            }
+        });
+    }
+
+    /// Parallel map-reduce: `map` runs per sub-range (yielding one partial
+    /// result per chunk); partials are combined with `+` in an unspecified
+    /// order on the calling thread.
+    pub fn parallel_sum<F, R>(
+        &self,
+        threads: usize,
+        range: Range<usize>,
+        schedule: Schedule,
+        map: F,
+    ) -> R
+    where
+        F: Fn(Range<usize>) -> R + Sync,
+        R: Send + Default + std::ops::Add<Output = R>,
+    {
+        let partials = Mutex::new(Vec::new());
+        self.parallel_for(threads, range, schedule, |chunk| {
+            let r = map(chunk);
+            partials.lock().push(r);
+        });
+        partials.into_inner().into_iter().fold(R::default(), |a, b| a + b)
+    }
+}
+
+impl Default for ThreadPool {
+    fn default() -> Self {
+        ThreadPool::new(crate::default_threads())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn broadcast_runs_each_tid_once() {
+        let pool = ThreadPool::new(4);
+        let hits = [const { AtomicUsize::new(0) }; 8];
+        pool.broadcast(8, |tid| {
+            hits[tid].fetch_add(1, Ordering::Relaxed);
+        });
+        for (tid, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "tid {tid}");
+        }
+    }
+
+    #[test]
+    fn parallel_for_touches_every_index_once() {
+        let pool = ThreadPool::new(4);
+        for sched in [Schedule::Static, Schedule::Dynamic(7), Schedule::Guided(2)] {
+            let n = 1013;
+            let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            pool.parallel_for(4, 0..n, sched, |chunk| {
+                for i in chunk {
+                    counts[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert!(
+                counts.iter().all(|c| c.load(Ordering::Relaxed) == 1),
+                "schedule {sched:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn borrows_local_data_safely() {
+        let pool = ThreadPool::new(3);
+        let input: Vec<u64> = (0..10_000).collect();
+        let total = AtomicU64::new(0);
+        pool.parallel_for(3, 0..input.len(), Schedule::Static, |chunk| {
+            let local: u64 = chunk.map(|i| input[i]).sum();
+            total.fetch_add(local, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 10_000 * 9_999 / 2);
+    }
+
+    #[test]
+    fn parallel_sum_reduces() {
+        let pool = ThreadPool::new(4);
+        let s = pool.parallel_sum(4, 0..1000usize, Schedule::Dynamic(13), |r| {
+            r.map(|i| i as u64).sum::<u64>()
+        });
+        assert_eq!(s, 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn oversubscription_beyond_pool_size_works() {
+        // More threads than cores (this host has 1) and more than initially
+        // spawned: the pool must grow and still complete.
+        let pool = ThreadPool::new(2);
+        let n = 500;
+        let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for(72, 0..n, Schedule::Static, |chunk| {
+            for i in chunk {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+        assert!(pool.workers() >= 71);
+    }
+
+    #[test]
+    fn single_thread_short_circuits() {
+        let pool = ThreadPool::new(1);
+        let mut touched = vec![false; 64];
+        let cell = Mutex::new(&mut touched);
+        pool.parallel_for(1, 0..64, Schedule::Static, |chunk| {
+            let mut t = cell.lock();
+            for i in chunk {
+                t[i] = true;
+            }
+        });
+        assert!(touched.iter().all(|&t| t));
+    }
+
+    #[test]
+    fn empty_range_is_a_noop() {
+        let pool = ThreadPool::new(2);
+        let ran = AtomicUsize::new(0);
+        pool.parallel_for(4, 5..5, Schedule::Static, |_| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn threads_clamped_to_range_len() {
+        // 3 iterations with 8 requested threads must not panic or stall.
+        let pool = ThreadPool::new(2);
+        let counts: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for(8, 0..3, Schedule::Static, |chunk| {
+            for i in chunk {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn pool_survives_many_regions() {
+        let pool = ThreadPool::new(4);
+        for round in 0..100 {
+            let total = AtomicUsize::new(0);
+            pool.parallel_for(4, 0..round + 1, Schedule::Dynamic(1), |chunk| {
+                total.fetch_add(chunk.len(), Ordering::Relaxed);
+            });
+            assert_eq!(total.load(Ordering::Relaxed), round + 1);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Format selection from matrix properties — the related-work idea
+//! ([18], [9] in the paper) of predicting the best format from structural
+//! metrics, then checking the prediction by measuring.
+//!
+//! The heuristics come straight from the paper's conclusions (§6.1/§6.2):
+//! high column ratio kills ELL; very regular matrices love it; good
+//! spatial locality rewards BCSR; otherwise CSR is the safe default.
+//!
+//! ```text
+//! cargo run --release --example format_advisor
+//! ```
+
+use std::time::Instant;
+
+use spmm_bench::core::{DenseMatrix, MatrixProperties, SparseFormat};
+use spmm_bench::kernels::FormatData;
+use spmm_bench::matgen;
+
+/// Predict the best format for a serial SpMM from the Table 5.1 metrics.
+fn advise(p: &MatrixProperties) -> SparseFormat {
+    // ELL pays `rows * max` work: only worth it when padding is tiny.
+    if p.column_ratio <= 1.5 && p.ell_efficiency >= 0.8 {
+        return SparseFormat::Ell;
+    }
+    // Tight bandwidth + meaty rows = dense-ish blocks for BCSR.
+    if p.bandwidth < 4 * p.max_row_nnz && p.avg_row_nnz >= 16.0 {
+        return SparseFormat::Bcsr;
+    }
+    SparseFormat::Csr
+}
+
+fn main() {
+    let k = 32;
+    println!("{:<16} {:>7} {:>9} | {:<9} {:<9} agreement", "matrix", "ratio", "ell-eff", "advised", "measured");
+
+    let mut agreements = 0;
+    let mut total = 0;
+    for spec in matgen::full_suite() {
+        let coo = spec.generate(0.02, 11);
+        let props = coo.properties();
+        let advised = advise(&props);
+
+        // Measure every format serially and crown the real winner.
+        let b = DenseMatrix::from_fn(coo.cols(), k, |i, j| ((i + j) % 7) as f64 - 3.0);
+        let mut c = DenseMatrix::zeros(coo.rows(), k);
+        let mut best: Option<(SparseFormat, f64)> = None;
+        for format in SparseFormat::PAPER {
+            let data = FormatData::from_coo(format, &coo, 4).expect("formats construct");
+            // One warm-up, then time two passes.
+            data.spmm_serial(&b, k, &mut c);
+            let start = Instant::now();
+            data.spmm_serial(&b, k, &mut c);
+            data.spmm_serial(&b, k, &mut c);
+            let t = start.elapsed().as_secs_f64() / 2.0;
+            if best.is_none() || t < best.as_ref().map(|b| b.1).unwrap_or(f64::MAX) {
+                best = Some((format, t));
+            }
+        }
+        let (winner, _) = best.expect("four formats measured");
+
+        let agree = winner == advised;
+        agreements += usize::from(agree);
+        total += 1;
+        println!(
+            "{:<16} {:>7.1} {:>9.2} | {:<9} {:<9} {}",
+            spec.name,
+            props.column_ratio,
+            props.ell_efficiency,
+            advised.name(),
+            winner.name(),
+            if agree { "yes" } else { "no" },
+        );
+    }
+    println!("\nheuristic matched the measured winner on {agreements}/{total} matrices");
+    println!("(the paper's point stands: properties guide, but there is no universal formula)");
+}

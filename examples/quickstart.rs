@@ -1,0 +1,69 @@
+//! Quickstart: build a sparse matrix, format it, multiply, verify.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use spmm_bench::core::{
+    max_rel_error, BcsrMatrix, CooMatrix, CsrMatrix, DenseMatrix, EllMatrix, MemoryFootprint,
+};
+use spmm_bench::kernels::serial;
+
+fn main() {
+    // 1. Assemble a sparse matrix from (row, col, value) triplets — the
+    //    same COO form a MatrixMarket file loads into.
+    let coo = CooMatrix::<f64>::from_triplets(
+        6,
+        6,
+        &[
+            (0, 0, 4.0),
+            (0, 1, -1.0),
+            (1, 0, -1.0),
+            (1, 1, 4.0),
+            (1, 2, -1.0),
+            (2, 1, -1.0),
+            (2, 2, 4.0),
+            (3, 3, 4.0),
+            (3, 4, -1.0),
+            (4, 3, -1.0),
+            (4, 4, 4.0),
+            (4, 5, -1.0),
+            (5, 4, -1.0),
+            (5, 5, 4.0),
+        ],
+    )
+    .expect("triplets are in bounds");
+
+    println!("matrix properties: {}", coo.properties());
+
+    // 2. Compress into the study formats.
+    let csr = CsrMatrix::from_coo(&coo);
+    let ell = EllMatrix::from_coo(&coo);
+    let bcsr = BcsrMatrix::from_coo(&coo, 2).expect("block size 2 is valid");
+    println!(
+        "footprints: coo={}B csr={}B ell={}B bcsr(2x2)={}B",
+        coo.memory_footprint(),
+        csr.memory_footprint(),
+        ell.memory_footprint(),
+        bcsr.memory_footprint(),
+    );
+
+    // 3. Multiply by a dense matrix with k = 4 columns.
+    let k = 4;
+    let b = DenseMatrix::from_fn(6, k, |i, j| (i + j) as f64);
+    let mut c = DenseMatrix::zeros(6, k);
+    serial::csr_spmm(&csr, &b, k, &mut c);
+
+    // 4. Verify against the COO reference multiply, as the suite does.
+    let reference = coo.spmm_reference_k(&b, k);
+    let err = max_rel_error(&c, &reference);
+    println!("CSR SpMM max relative error vs reference: {err:.2e}");
+    assert!(err < 1e-12);
+
+    // Every format computes the same C.
+    serial::ell_spmm(&ell, &b, k, &mut c);
+    assert_eq!(c, reference);
+    serial::bcsr_spmm(&bcsr, &b, k, &mut c);
+    assert_eq!(c, reference);
+    println!("all formats agree; C row 0 = {:?}", c.row(0));
+}

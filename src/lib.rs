@@ -1,0 +1,35 @@
+//! # spmm-bench
+//!
+//! Umbrella crate for the SpMM-Bench workspace: re-exports every component
+//! crate so downstream users (and the examples and integration tests in
+//! this repository) can depend on one crate.
+//!
+//! The workspace reproduces *SpMM-Bench: Performance Characterization of
+//! Sparse Formats for Sparse-Dense Matrix Multiplication* (Flynn, 2024):
+//!
+//! * [`core`] — sparse formats (COO, CSR, CSC, ELLPACK, BCSR, BELL,
+//!   CSR5-lite), dense matrices, matrix properties, verification.
+//! * [`parallel`] — the OpenMP-like CPU parallel-for runtime.
+//! * [`kernels`] — serial/parallel SpMM and SpMV kernels for every format,
+//!   transpose variants and the Study 9 const-`K` specializations.
+//! * [`gpusim`] — the SIMT GPU simulator plus vendor-tuned (cuSPARSE-like)
+//!   baseline kernels.
+//! * [`perfmodel`] — analytic machine profiles (Grace Hopper Arm, Aries
+//!   Milan x86) and the kernel cost model.
+//! * [`matgen`] — the 14-matrix synthetic SuiteSparse-like suite and
+//!   MatrixMarket I/O.
+//! * [`harness`] — the benchmark suite itself: parameters, timing, FLOPS
+//!   reporting, verification, and the drivers for every study in the paper.
+
+pub use spmm_core as core;
+pub use spmm_gpusim as gpusim;
+pub use spmm_harness as harness;
+pub use spmm_kernels as kernels;
+pub use spmm_matgen as matgen;
+pub use spmm_parallel as parallel;
+pub use spmm_perfmodel as perfmodel;
+
+pub use spmm_core::{
+    BcsrMatrix, BellMatrix, CooMatrix, Csr5Matrix, CscMatrix, CsrMatrix, DenseMatrix, EllMatrix,
+    MatrixProperties, MemoryFootprint, Scalar, SparseFormat, SparseMatrix,
+};

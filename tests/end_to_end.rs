@@ -1,0 +1,146 @@
+//! Whole-pipeline integration tests through the umbrella crate: generate →
+//! format → multiply (every backend) → verify → report.
+
+use spmm_bench::core::{max_rel_error, DenseMatrix, SparseFormat};
+use spmm_bench::gpusim::DeviceProfile;
+use spmm_bench::harness::benchmark::{run, Backend, SuiteBenchmark, Variant};
+use spmm_bench::harness::Params;
+use spmm_bench::kernels::FormatData;
+use spmm_bench::matgen;
+use spmm_bench::parallel::{Schedule, ThreadPool};
+
+fn small_params(matrix: &str) -> Params {
+    Params {
+        matrix: matrix.into(),
+        scale: 0.01,
+        k: 16,
+        iterations: 2,
+        threads: 3,
+        ..Params::default()
+    }
+}
+
+#[test]
+fn full_pipeline_for_every_suite_matrix() {
+    // One serial CSR run per suite matrix: generation, formatting,
+    // calculation, verification and reporting all succeed.
+    for spec in matgen::full_suite() {
+        let mut bench =
+            SuiteBenchmark::from_params(small_params(spec.name)).expect("loads");
+        let report = run(&mut bench).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        assert_eq!(report.verified, Some(true), "{}", spec.name);
+        assert!(report.mflops > 0.0, "{}", spec.name);
+        assert_eq!(report.matrix, spec.name);
+    }
+}
+
+#[test]
+fn cpu_gpu_and_vendor_agree_numerically() {
+    let coo = matgen::by_name("bcsstk17").unwrap().generate(0.05, 21);
+    let k = 24;
+    let b = matgen::gen::dense_b(coo.cols(), k, 5);
+    let reference = coo.spmm_reference_k(&b, k);
+    let pool = ThreadPool::new(3);
+
+    for format in SparseFormat::PAPER {
+        let data = FormatData::from_coo(format, &coo, 4).unwrap();
+
+        let mut c = DenseMatrix::zeros(coo.rows(), k);
+        data.spmm_serial(&b, k, &mut c);
+        assert!(max_rel_error(&c, &reference) < 1e-10, "{format} serial");
+
+        data.spmm_parallel(&pool, 3, Schedule::Dynamic(8), &b, k, &mut c);
+        assert!(max_rel_error(&c, &reference) < 1e-10, "{format} parallel");
+    }
+
+    // GPU + vendor paths through the simulator.
+    let csr = spmm_bench::core::CsrMatrix::from_coo(&coo);
+    let dev = DeviceProfile::h100();
+    let mut c = DenseMatrix::zeros(coo.rows(), k);
+    spmm_bench::gpusim::kernels::csr_spmm_gpu(&dev, &csr, &b, k, &mut c);
+    assert!(max_rel_error(&c, &reference) < 1e-10, "gpu csr");
+    spmm_bench::gpusim::vendor::cusparse_csr_spmm(&dev, &csr, &b, k, &mut c);
+    assert!(max_rel_error(&c, &reference) < 1e-9, "vendor csr");
+}
+
+#[test]
+fn matrix_market_file_drives_the_harness() {
+    // Write a replica to a .mtx file and load it back through the CLI
+    // parameter path — the suite's native input flow.
+    let coo = matgen::by_name("dw4096").unwrap().generate(0.05, 13);
+    let dir = std::env::temp_dir().join("spmm_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("dw4096_replica.mtx");
+    matgen::mm::write_matrix_market(&coo, std::fs::File::create(&path).unwrap()).unwrap();
+
+    let params = Params {
+        matrix: path.to_string_lossy().into_owned(),
+        k: 8,
+        iterations: 1,
+        ..Params::default()
+    };
+    let mut bench = SuiteBenchmark::from_params(params).expect("mtx loads");
+    let report = run(&mut bench).expect("runs");
+    assert_eq!(report.verified, Some(true));
+    assert_eq!(report.nnz, coo.nnz());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn gpu_backends_report_simulated_time_and_match() {
+    for backend in [Backend::GpuH100, Backend::GpuA100] {
+        let params = Params { backend, ..small_params("af23560") };
+        let mut bench = SuiteBenchmark::from_params(params).unwrap();
+        let report = run(&mut bench).unwrap();
+        assert!(report.simulated);
+        assert_eq!(report.verified, Some(true));
+    }
+    // Vendor variant on the GPU.
+    let params = Params {
+        backend: Backend::GpuH100,
+        variant: Variant::Vendor,
+        ..small_params("af23560")
+    };
+    let mut bench = SuiteBenchmark::from_params(params).unwrap();
+    let report = run(&mut bench).unwrap();
+    assert_eq!(report.verified, Some(true));
+    assert_eq!(report.variant, "cusparse");
+}
+
+#[test]
+fn footprint_hierarchy_holds_on_a_banded_matrix() {
+    // On a regular banded matrix: CSR <= COO, and ELL close to CSR; all
+    // formats report nonzero footprints.
+    let coo = matgen::by_name("cant").unwrap().generate(0.02, 17);
+    let mut sizes = std::collections::BTreeMap::new();
+    for format in SparseFormat::ALL {
+        let data = FormatData::from_coo(format, &coo, 4).unwrap();
+        sizes.insert(format.name(), data.memory_footprint());
+    }
+    assert!(sizes["csr"] < sizes["coo"], "{sizes:?}");
+    assert!(sizes.values().all(|&s| s > 0), "{sizes:?}");
+}
+
+#[test]
+fn narrow_types_halve_the_pipeline_footprint() {
+    // The §6.3.5 experiment end to end: u32/f32 storage halves memory and
+    // still multiplies correctly.
+    use spmm_bench::core::{CooMatrix, CsrMatrix, MemoryFootprint};
+    let coo64 = matgen::by_name("bcsstk13").unwrap().generate(0.3, 23);
+    let trips: Vec<(usize, usize, f32)> =
+        coo64.iter().map(|(r, c, v)| (r, c, v as f32)).collect();
+    let coo32: CooMatrix<f32, u32> =
+        CooMatrix::from_triplets(coo64.rows(), coo64.cols(), &trips).unwrap();
+
+    let csr64 = CsrMatrix::from_coo(&coo64);
+    let csr32 = CsrMatrix::from_coo(&coo32);
+    let ratio = csr64.memory_footprint() as f64 / csr32.memory_footprint() as f64;
+    assert!((ratio - 2.0).abs() < 0.01, "ratio {ratio}");
+
+    let k = 4;
+    let b32 = DenseMatrix::<f32>::from_fn(coo32.cols(), k, |i, j| ((i + j) % 5) as f32);
+    let mut c32 = DenseMatrix::zeros(coo32.rows(), k);
+    spmm_bench::kernels::serial::csr_spmm(&csr32, &b32, k, &mut c32);
+    let reference = coo32.spmm_reference_k(&b32, k);
+    assert!(max_rel_error(&c32, &reference) < 1e-5);
+}
