@@ -65,11 +65,7 @@ fn main() {
 
     let emit = |r: &StudyResult| {
         write(&out, &format!("{}.csv", r.id), &r.to_csv());
-        write(
-            &out,
-            &format!("{}.json", r.id),
-            &serde_json::to_string_pretty(r).expect("study serializes"),
-        );
+        write(&out, &format!("{}.json", r.id), &r.to_json());
         write(&out, &format!("{}.svg", r.id), &spmm_harness::svg::study_svg(r));
         if charts {
             println!("{}", r.render());

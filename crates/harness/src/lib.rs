@@ -26,6 +26,7 @@
 
 pub mod benchmark;
 pub mod chart;
+pub mod json;
 pub mod params;
 pub mod report;
 pub mod studies;

@@ -3,15 +3,14 @@
 use std::fmt;
 use std::time::Duration;
 
-use serde::Serialize;
-
 use crate::benchmark::{SpmmBenchmark, SuiteBenchmark};
+use crate::json::Json;
 use crate::params::Params;
 use crate::timer::{flops, Timings};
 
 /// Everything one benchmark run reports: runtime data, matrix data and
 /// parameter information, exactly the §4.3 metric set.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Report {
     /// Matrix name.
     pub matrix: String,
@@ -152,7 +151,34 @@ impl Report {
 
     /// Serialize as pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("report serializes")
+        Json::obj()
+            .with("matrix", self.matrix.as_str())
+            .with("format", self.format.as_str())
+            .with("backend", self.backend.as_str())
+            .with("variant", self.variant.as_str())
+            .with("k", self.k)
+            .with("threads", self.threads)
+            .with("block", self.block)
+            .with("iterations", self.iterations)
+            .with("rows", self.rows)
+            .with("cols", self.cols)
+            .with("nnz", self.nnz)
+            .with("max_row_nnz", self.max_row_nnz)
+            .with("avg_row_nnz", self.avg_row_nnz)
+            .with("column_ratio", self.column_ratio)
+            .with("variance", self.variance)
+            .with("std_dev", self.std_dev)
+            .with("format_time_s", self.format_time_s)
+            .with("avg_calc_time_s", self.avg_calc_time_s)
+            .with("total_time_s", self.total_time_s)
+            .with("useful_flops", self.useful_flops)
+            .with("flops", self.flops)
+            .with("mflops", self.mflops)
+            .with("gflops", self.gflops)
+            .with("simulated", self.simulated)
+            .with("verified", self.verified)
+            .with("memory_footprint", self.memory_footprint)
+            .pretty()
     }
 }
 
@@ -230,7 +256,7 @@ mod tests {
         let j = r.to_json();
         assert!(j.contains("\"matrix\""));
         assert!(j.contains("\"mflops\""));
-        let parsed: serde_json::Value = serde_json::from_str(&j).unwrap();
+        let parsed = crate::json::Json::parse(&j).unwrap();
         assert_eq!(parsed["format"], "csr");
     }
 

@@ -22,12 +22,12 @@ pub mod study8;
 pub mod study9;
 pub mod table51;
 
-use serde::Serialize;
 use spmm_core::{CooMatrix, MatrixProperties, SparseFormat};
 use spmm_kernels::FormatData;
 use spmm_perfmodel::{estimate_spmm_mflops, MachineProfile, SpmmWorkload};
 
 use crate::chart;
+use crate::json::Json;
 
 /// Shared configuration for every study run.
 #[derive(Debug, Clone)]
@@ -170,7 +170,7 @@ pub fn model_mflops(
 }
 
 /// One plotted series: a label and one value per matrix.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     /// Legend label (e.g. "csr/omp").
     pub label: String,
@@ -180,7 +180,7 @@ pub struct Series {
 }
 
 /// The regenerated data behind one figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct StudyResult {
     /// Study identifier ("study1-arm").
     pub id: String,
@@ -197,6 +197,34 @@ pub struct StudyResult {
 }
 
 impl StudyResult {
+    /// Serialize as pretty JSON (non-finite values become `null`, like the
+    /// paper's dropped Aries GPU results).
+    pub fn to_json(&self) -> String {
+        Json::obj()
+            .with("id", self.id.as_str())
+            .with("figure", self.figure.as_str())
+            .with("title", self.title.as_str())
+            .with(
+                "rows",
+                Json::Arr(self.rows.iter().map(|r| Json::from(r.as_str())).collect()),
+            )
+            .with(
+                "series",
+                Json::Arr(
+                    self.series
+                        .iter()
+                        .map(|s| {
+                            Json::obj()
+                                .with("label", s.label.as_str())
+                                .with("values", s.values.as_slice())
+                        })
+                        .collect(),
+                ),
+            )
+            .with("unit", self.unit.as_str())
+            .pretty()
+    }
+
     /// Render as CSV: `row,series1,series2,...`.
     pub fn to_csv(&self) -> String {
         let mut out = String::new();

@@ -1,0 +1,181 @@
+//! Offline stand-in for the slice of `crossbeam` this workspace uses:
+//! `crossbeam::channel::{unbounded, Sender, Receiver}` with cloneable
+//! receivers (std's mpsc receiver is single-consumer, so the thread pool
+//! cannot use it directly). Implemented as a `Mutex<VecDeque>` + `Condvar`
+//! queue — adequate for the pool's job-dispatch rate, where each message
+//! fans out an entire parallel region.
+
+/// Multi-producer multi-consumer FIFO channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+    }
+
+    /// The sending half; cloneable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half; cloneable (every clone competes for messages).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned when every receiver is gone.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            // No `T: Debug` bound, mirroring upstream: the payload is the
+            // unsent message, which need not be printable.
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Create an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+        });
+        (Sender { shared: shared.clone() }, Receiver { shared })
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue a message; never blocks. Unlike crossbeam this shim
+        /// cannot observe receiver disconnection (the pool holds its
+        /// receiver for the process lifetime, so the distinction is moot)
+        /// and always succeeds.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut queue =
+                self.shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            queue.push_back(value);
+            drop(queue);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.senders.fetch_add(1, Ordering::AcqRel);
+            Sender { shared: self.shared.clone() }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last sender gone: wake blocked receivers so `iter` ends.
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver { shared: self.shared.clone() }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeue a message, blocking while the channel is empty and at
+        /// least one sender is alive. Returns `None` once the channel is
+        /// empty and every sender has been dropped.
+        pub fn recv_opt(&self) -> Option<T> {
+            let mut queue =
+                self.shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(v) = queue.pop_front() {
+                    return Some(v);
+                }
+                if self.shared.senders.load(Ordering::Acquire) == 0 {
+                    return None;
+                }
+                queue = self
+                    .shared
+                    .ready
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// A blocking iterator over incoming messages; ends when the
+        /// channel is empty and all senders are dropped.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    /// Blocking iterator returned by [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv_opt()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_single_thread() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv_opt(), Some(1));
+            assert_eq!(rx.recv_opt(), Some(2));
+        }
+
+        #[test]
+        fn iter_ends_when_senders_drop() {
+            let (tx, rx) = unbounded();
+            tx.send(7u32).unwrap();
+            drop(tx);
+            let got: Vec<u32> = rx.iter().collect();
+            assert_eq!(got, vec![7]);
+        }
+
+        #[test]
+        fn cloned_receivers_split_the_stream() {
+            let (tx, rx) = unbounded();
+            let rx2 = rx.clone();
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let h = std::thread::spawn(move || rx2.iter().count());
+            let a = rx.iter().count();
+            let b = h.join().unwrap();
+            assert_eq!(a + b, 100);
+        }
+
+        #[test]
+        fn blocking_receive_wakes_on_send() {
+            let (tx, rx) = unbounded();
+            let h = std::thread::spawn(move || rx.recv_opt());
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            tx.send(42).unwrap();
+            assert_eq!(h.join().unwrap(), Some(42));
+        }
+    }
+}
