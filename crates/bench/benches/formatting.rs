@@ -13,7 +13,9 @@ use spmm_core::{BcsrMatrix, BellMatrix, Csr5Matrix, CsrMatrix, EllMatrix, HybMat
 
 fn bench(c: &mut Criterion) {
     let ctx = bench_context();
-    let coo = spmm_matgen::by_name("cant").unwrap().generate(ctx.scale, ctx.seed);
+    let coo = spmm_matgen::by_name("cant")
+        .unwrap()
+        .generate(ctx.scale, ctx.seed);
     let csr = CsrMatrix::from_coo(&coo);
 
     let mut group = c.benchmark_group("formatting");

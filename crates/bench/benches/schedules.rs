@@ -17,7 +17,9 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("schedules");
     group.sample_size(10);
     for name in ["torso1", "af23560"] {
-        let coo = spmm_matgen::by_name(name).unwrap().generate(ctx.scale, ctx.seed);
+        let coo = spmm_matgen::by_name(name)
+            .unwrap()
+            .generate(ctx.scale, ctx.seed);
         let csr = CsrMatrix::from_coo(&coo);
         let b = spmm_matgen::gen::dense_b(coo.cols(), ctx.k, 7);
         let mut out = DenseMatrix::zeros(coo.rows(), ctx.k);

@@ -1,0 +1,79 @@
+//! Study 11 (extension): the cache-blocked tiled SpMM engine.
+//!
+//! Host-measured: criterion sweeps tile shapes (panel width × register
+//! rows) for CSR on a banded and a heavy-row matrix and compares the flat
+//! serial / const-K kernels against the tiled engine at its cache-selected
+//! shape. The study driver's series is printed first.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use spmm_benches::{bench_context, bench_matrices, print_figure};
+use spmm_core::{DenseMatrix, SparseFormat};
+use spmm_harness::studies::{load_suite, study11};
+use spmm_kernels::tiled::TileConfig;
+use spmm_kernels::FormatData;
+use spmm_parallel::{global_pool, Schedule};
+use spmm_perfmodel::MachineProfile;
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_context();
+    let suite: Vec<_> = load_suite(&ctx).into_iter().take(5).collect();
+    let s11 = study11::study11(&ctx, &suite);
+    print_figure(&s11);
+    println!("tiled-over-flat serial speedup (mean over matrices):");
+    for (format, speedup) in study11::tiled_speedup(&s11) {
+        println!("  {format}: {speedup:.2}x");
+    }
+
+    let k = ctx.k;
+    let machine = MachineProfile::container_host();
+    let pool = global_pool();
+    let mut group = c.benchmark_group("study11");
+    group.sample_size(10);
+
+    // af23560 is the banded exemplar, torso1 the heavy-row one.
+    for entry in &bench_matrices() {
+        let b = spmm_matgen::gen::dense_b(entry.coo.cols(), k, 7);
+        let data = FormatData::from_coo(SparseFormat::Csr, &entry.coo, ctx.block).unwrap();
+        let mut out = DenseMatrix::zeros(entry.coo.rows(), k);
+        group.throughput(Throughput::Elements(spmm_kernels::spmm_flops(
+            entry.coo.nnz(),
+            k,
+        )));
+
+        group.bench_function(format!("csr/flat/{}", entry.name), |bch| {
+            bch.iter(|| data.spmm_serial(&b, k, &mut out))
+        });
+        group.bench_function(format!("csr/flat-const/{}", entry.name), |bch| {
+            bch.iter(|| assert!(data.spmm_serial_fixed_k(&b, k, &mut out)))
+        });
+
+        // Tile-shape sweep: panel width × register rows.
+        for panel_w in [8usize, 16, 32, 64] {
+            for row_block in [1usize, 4] {
+                let cfg = TileConfig::new(panel_w, row_block);
+                let packed = cfg.pack(&b, k);
+                group.bench_function(
+                    format!("csr/tiled-w{panel_w}-mr{row_block}/{}", entry.name),
+                    |bch| bch.iter(|| assert!(data.spmm_serial_tiled(&packed, cfg, &mut out))),
+                );
+            }
+        }
+
+        // The cache-selected shape, serial and 2-D parallel.
+        let cfg = study11::tile_config(&machine, &data, entry, ctx.block, k);
+        let packed = cfg.pack(&b, k);
+        group.bench_function(
+            format!("csr/tiled-auto-w{}/{}", cfg.panel_w, entry.name),
+            |bch| bch.iter(|| assert!(data.spmm_serial_tiled(&packed, cfg, &mut out))),
+        );
+        group.bench_function(format!("csr/tiled-omp/{}", entry.name), |bch| {
+            bch.iter(|| {
+                assert!(data.spmm_parallel_tiled(pool, 4, Schedule::Static, &packed, cfg, &mut out))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

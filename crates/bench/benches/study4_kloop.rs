@@ -22,7 +22,10 @@ fn bench(c: &mut Criterion) {
     for k in [8usize, 16, 64, 128, 256] {
         let b = spmm_matgen::gen::dense_b(entry.coo.cols(), k, 7);
         let mut out = DenseMatrix::zeros(entry.coo.rows(), k);
-        group.throughput(Throughput::Elements(spmm_kernels::spmm_flops(data.nnz(), k)));
+        group.throughput(Throughput::Elements(spmm_kernels::spmm_flops(
+            data.nnz(),
+            k,
+        )));
         group.bench_function(format!("csr/{}/k{k}", entry.name), |bch| {
             bch.iter(|| data.spmm_serial(&b, k, &mut out))
         });

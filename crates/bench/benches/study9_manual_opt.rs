@@ -39,7 +39,8 @@ fn bench(c: &mut Criterion) {
         });
     }
     // Parallel pair for CSR (the kernels the paper re-ran in parallel).
-    let data = FormatData::from_coo(SparseFormat::Csr, &bench_matrices()[0].coo, ctx.block).unwrap();
+    let data =
+        FormatData::from_coo(SparseFormat::Csr, &bench_matrices()[0].coo, ctx.block).unwrap();
     let mut out = DenseMatrix::zeros(bench_matrices()[0].coo.rows(), k);
     group.bench_function("csr/omp-runtime-k/af23560", |bch| {
         bch.iter(|| data.spmm_parallel(pool, 4, Schedule::Static, &b, k, &mut out))

@@ -11,7 +11,13 @@ use spmm_harness::studies::{load_suite, MatrixEntry, StudyContext, StudyResult};
 /// Scale used by the benches: big enough to be meaningful, small enough
 /// for a single-core container.
 pub fn bench_context() -> StudyContext {
-    StudyContext { scale: 0.01, seed: 42, k: 64, threads: 32, block: 4 }
+    StudyContext {
+        scale: 0.01,
+        seed: 42,
+        k: 64,
+        threads: 32,
+        block: 4,
+    }
 }
 
 /// A reduced matrix set for timed kernels (one regular, one blocky, one
@@ -26,7 +32,10 @@ pub fn bench_matrices() -> Vec<MatrixEntry> {
 
 /// Print a regenerated figure's series as the paper-style table.
 pub fn print_figure(result: &StudyResult) {
-    println!("\n================ {} — {} ================", result.figure, result.title);
+    println!(
+        "\n================ {} — {} ================",
+        result.figure, result.title
+    );
     print!("{}", result.to_csv());
     println!("==========================================================");
 }

@@ -2,9 +2,7 @@
 
 use std::io::{Read, Write};
 
-use crate::{
-    CooMatrix, CsrMatrix, Index, Scalar, SparseError, SparseFormat, SparseMatrix,
-};
+use crate::{CooMatrix, CsrMatrix, Index, Scalar, SparseError, SparseFormat, SparseMatrix};
 
 /// A sparse matrix in BCSR format: CSR over dense `r × c` blocks.
 ///
@@ -108,7 +106,16 @@ impl<T: Scalar, I: Index> BcsrMatrix<T, I> {
             row_ptr.push(I::from_usize(col_idx.len()));
         }
 
-        Ok(BcsrMatrix { rows, cols, r, c, row_ptr, col_idx, values, nnz: csr.nnz() })
+        Ok(BcsrMatrix {
+            rows,
+            cols,
+            r,
+            c,
+            row_ptr,
+            col_idx,
+            values,
+            nnz: csr.nnz(),
+        })
     }
 
     /// Build from COO.
@@ -174,7 +181,16 @@ impl<T: Scalar, I: Index> BcsrMatrix<T, I> {
             row_ptr.push(I::from_usize(col_idx.len()));
         }
 
-        Ok(BcsrMatrix { rows, cols, r, c, row_ptr, col_idx, values, nnz: csr.nnz() })
+        Ok(BcsrMatrix {
+            rows,
+            cols,
+            r,
+            c,
+            row_ptr,
+            col_idx,
+            values,
+            nnz: csr.nnz(),
+        })
     }
 
     /// Logical row count.
@@ -335,7 +351,16 @@ impl<T: Scalar, I: Index> BcsrMatrix<T, I> {
         if row_ptr.last().map(|p| p.as_usize()) != Some(nblocks) {
             return Err(SparseError::Parse("row_ptr does not end at nblocks".into()));
         }
-        Ok(BcsrMatrix { rows, cols, r, c, row_ptr, col_idx, values, nnz })
+        Ok(BcsrMatrix {
+            rows,
+            cols,
+            r,
+            c,
+            row_ptr,
+            col_idx,
+            values,
+            nnz,
+        })
     }
 }
 

@@ -23,7 +23,13 @@ pub struct CooMatrix<T, I = usize> {
 impl<T: Scalar, I: Index> CooMatrix<T, I> {
     /// An empty matrix of the given shape.
     pub fn new(rows: usize, cols: usize) -> Self {
-        CooMatrix { rows, cols, row_idx: Vec::new(), col_idx: Vec::new(), values: Vec::new() }
+        CooMatrix {
+            rows,
+            cols,
+            row_idx: Vec::new(),
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Build from `(row, col, value)` triplets, validating bounds.
@@ -238,7 +244,14 @@ impl<T: Scalar, I: Index> CooMatrix<T, I> {
 
     /// Reference SpMV: `y = A · x`.
     pub fn spmv_reference(&self, x: &[T]) -> Vec<T> {
-        assert_eq!(self.cols, x.len(), "A is {}x{} but x has {} entries", self.rows, self.cols, x.len());
+        assert_eq!(
+            self.cols,
+            x.len(),
+            "A is {}x{} but x has {} entries",
+            self.rows,
+            self.cols,
+            x.len()
+        );
         let mut y = vec![T::ZERO; self.rows];
         for ((&r, &j), &v) in self.row_idx.iter().zip(&self.col_idx).zip(&self.values) {
             y[r.as_usize()] = v.mul_add(x[j.as_usize()], y[r.as_usize()]);
@@ -287,12 +300,8 @@ mod tests {
     use super::*;
 
     fn sample() -> CooMatrix<f64> {
-        CooMatrix::from_triplets(
-            3,
-            4,
-            &[(2, 3, 4.0), (0, 0, 1.0), (1, 1, 2.0), (2, 0, 3.0)],
-        )
-        .unwrap()
+        CooMatrix::from_triplets(3, 4, &[(2, 3, 4.0), (0, 0, 1.0), (1, 1, 2.0), (2, 0, 3.0)])
+            .unwrap()
     }
 
     #[test]
@@ -366,9 +375,8 @@ mod tests {
 
     #[test]
     fn prune_zeros_removes_padding() {
-        let mut m =
-            CooMatrix::<f64>::from_triplets(2, 2, &[(0, 0, 0.0), (0, 1, 5.0), (1, 0, 0.0)])
-                .unwrap();
+        let mut m = CooMatrix::<f64>::from_triplets(2, 2, &[(0, 0, 0.0), (0, 1, 5.0), (1, 0, 0.0)])
+            .unwrap();
         m.prune_zeros();
         assert_eq!(m.nnz(), 1);
         assert_eq!(m.iter().next(), Some((0, 1, 5.0)));

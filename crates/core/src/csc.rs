@@ -137,7 +137,8 @@ impl<T: Scalar, I: Index> SparseMatrix<T> for CscMatrix<T, I> {
         for j in 0..self.cols {
             let (rows, vals) = self.col(j);
             for (&r, &v) in rows.iter().zip(vals) {
-                coo.push(r.as_usize(), j, v).expect("CSC indices are in bounds");
+                coo.push(r.as_usize(), j, v)
+                    .expect("CSC indices are in bounds");
             }
         }
         coo.sort_and_sum_duplicates();
@@ -153,7 +154,13 @@ mod tests {
         CooMatrix::from_triplets(
             3,
             4,
-            &[(0, 0, 1.0), (0, 3, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 3, 5.0)],
+            &[
+                (0, 0, 1.0),
+                (0, 3, 2.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 3, 5.0),
+            ],
         )
         .unwrap()
     }
@@ -164,7 +171,10 @@ mod tests {
         let ptr: Vec<usize> = csc.col_ptr().iter().map(|&p| p.as_usize()).collect();
         assert_eq!(ptr, vec![0, 2, 3, 3, 5]);
         let (rows, vals) = csc.col(3);
-        assert_eq!(rows.iter().map(|r| r.as_usize()).collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(
+            rows.iter().map(|r| r.as_usize()).collect::<Vec<_>>(),
+            vec![0, 2]
+        );
         assert_eq!(vals, &[2.0, 5.0]);
     }
 

@@ -66,15 +66,29 @@ impl<T: Scalar, I: Index> CsrMatrix<T, I> {
         col_idx: Vec<I>,
         values: Vec<T>,
     ) -> Self {
-        assert_eq!(row_ptr.len(), rows + 1, "row_ptr must have rows + 1 entries");
-        assert_eq!(col_idx.len(), values.len(), "col_idx and values must be parallel");
+        assert_eq!(
+            row_ptr.len(),
+            rows + 1,
+            "row_ptr must have rows + 1 entries"
+        );
+        assert_eq!(
+            col_idx.len(),
+            values.len(),
+            "col_idx and values must be parallel"
+        );
         assert_eq!(
             row_ptr.last().map(|p| p.as_usize()),
             Some(values.len()),
             "row_ptr must end at nnz"
         );
         debug_assert!(col_idx.iter().all(|c| c.as_usize() < cols.max(1)));
-        CsrMatrix { rows, cols, row_ptr, col_idx, values }
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Number of stored entries.
@@ -191,7 +205,8 @@ impl<T: Scalar, I: Index> SparseMatrix<T> for CsrMatrix<T, I> {
         for i in 0..self.rows {
             let (cols, vals) = self.row(i);
             for (&c, &v) in cols.iter().zip(vals) {
-                coo.push(i, c.as_usize(), v).expect("CSR indices are in bounds");
+                coo.push(i, c.as_usize(), v)
+                    .expect("CSR indices are in bounds");
             }
         }
         coo
@@ -225,7 +240,14 @@ mod tests {
         assert_eq!(ptr, vec![0, 2, 3, 3, 6]);
         assert_eq!(csr.row_nnz(0), 2);
         assert_eq!(csr.row_nnz(2), 0);
-        assert_eq!(csr.row(3).0.iter().map(|c| c.as_usize()).collect::<Vec<_>>(), vec![0, 2, 3]);
+        assert_eq!(
+            csr.row(3)
+                .0
+                .iter()
+                .map(|c| c.as_usize())
+                .collect::<Vec<_>>(),
+            vec![0, 2, 3]
+        );
     }
 
     #[test]
@@ -264,8 +286,8 @@ mod tests {
 
     #[test]
     fn narrow_indices_work() {
-        let coo: CooMatrix<f32, u32> = CooMatrix::from_triplets(3, 3, &[(0, 1, 1.5f32), (2, 2, 2.5)])
-            .unwrap();
+        let coo: CooMatrix<f32, u32> =
+            CooMatrix::from_triplets(3, 3, &[(0, 1, 1.5f32), (2, 2, 2.5)]).unwrap();
         let csr = CsrMatrix::from_coo(&coo);
         assert_eq!(csr.nnz(), 2);
         assert_eq!(csr.row(2).1, &[2.5f32]);

@@ -52,7 +52,10 @@ impl<T: Scalar, I: Index> Csr5Matrix<T, I> {
     }
 
     /// Build from CSR with an explicit tile size (entries per tile).
-    pub fn from_csr_with_tile(csr: &CsrMatrix<T, I>, tile_size: usize) -> Result<Self, SparseError> {
+    pub fn from_csr_with_tile(
+        csr: &CsrMatrix<T, I>,
+        tile_size: usize,
+    ) -> Result<Self, SparseError> {
         if tile_size == 0 {
             return Err(SparseError::Parse("CSR5 tile size must be nonzero".into()));
         }

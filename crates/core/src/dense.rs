@@ -18,7 +18,11 @@ pub struct DenseMatrix<T> {
 impl<T: Scalar> DenseMatrix<T> {
     /// An all-zeros `rows × cols` matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        DenseMatrix { rows, cols, data: vec![T::ZERO; rows * cols] }
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![T::ZERO; rows * cols],
+        }
     }
 
     /// Build from a function of `(row, col)`.
@@ -139,6 +143,113 @@ impl<T: Scalar> DenseMatrix<T> {
     }
 }
 
+/// B packed into contiguous column panels for the cache-blocked kernels.
+///
+/// The flat kernels read `b.row(j)[..k]`, a `k`-wide strided window of a
+/// `b.cols()`-pitch buffer: at large `k` every nonzero of A drags a full
+/// `k * 8`-byte row of B through the cache, and the working set of one
+/// sweep over A is `touched_rows × k × 8` bytes. Packing splits the first
+/// `k` columns into `⌈k / panel_w⌉` panels and stores each panel's
+/// `b_rows × width` block contiguously, so a tiled kernel sweeps A once
+/// per panel against a working set `panel_w / k` times smaller — sized by
+/// the tile selector to sit in L1/L2 — and reads it at unit stride.
+///
+/// Packing is a one-time pre-pass over B (like Study 8's explicit
+/// transpose) and is amortized across every multiply that reuses B.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedPanels<T> {
+    b_rows: usize,
+    k: usize,
+    panel_w: usize,
+    data: Vec<T>,
+    /// Start of each panel in `data`, plus the total length: panel `p`
+    /// occupies `data[offsets[p]..offsets[p + 1]]`.
+    offsets: Vec<usize>,
+}
+
+impl<T: Scalar> PackedPanels<T> {
+    /// Pack the first `k` columns of `b` into panels of `panel_w` columns
+    /// (the last panel may be narrower).
+    ///
+    /// # Panics
+    /// If `k` exceeds `b.cols()` or `panel_w` is zero.
+    pub fn pack(b: &DenseMatrix<T>, k: usize, panel_w: usize) -> Self {
+        assert!(
+            k <= b.cols(),
+            "cannot pack {k} columns of a {}-column B",
+            b.cols()
+        );
+        assert!(panel_w > 0, "panel width must be positive");
+        let b_rows = b.rows();
+        let n_panels = k.div_ceil(panel_w).max(1);
+        let mut offsets = Vec::with_capacity(n_panels + 1);
+        let mut data = Vec::with_capacity(b_rows * k);
+        offsets.push(0);
+        for p in 0..n_panels {
+            let lo = p * panel_w;
+            let hi = (lo + panel_w).min(k);
+            for row in 0..b_rows {
+                data.extend_from_slice(&b.row(row)[lo..hi]);
+            }
+            offsets.push(data.len());
+        }
+        PackedPanels {
+            b_rows,
+            k,
+            panel_w,
+            data,
+            offsets,
+        }
+    }
+
+    /// Rows of the packed B.
+    #[inline(always)]
+    pub fn b_rows(&self) -> usize {
+        self.b_rows
+    }
+
+    /// Total packed columns (the kernel's `k`).
+    #[inline(always)]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Nominal panel width (the last panel may be narrower).
+    #[inline(always)]
+    pub fn panel_w(&self) -> usize {
+        self.panel_w
+    }
+
+    /// Number of panels.
+    #[inline(always)]
+    pub fn n_panels(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// First original B column covered by panel `p`.
+    #[inline(always)]
+    pub fn panel_start(&self, p: usize) -> usize {
+        p * self.panel_w
+    }
+
+    /// Width of panel `p`.
+    #[inline(always)]
+    pub fn width(&self, p: usize) -> usize {
+        (self.k - self.panel_start(p)).min(self.panel_w)
+    }
+
+    /// Panel `p` as one contiguous `b_rows × width(p)` row-major block.
+    #[inline(always)]
+    pub fn panel(&self, p: usize) -> &[T] {
+        &self.data[self.offsets[p]..self.offsets[p + 1]]
+    }
+
+    /// Bytes of packed payload.
+    pub fn packed_bytes(&self) -> usize {
+        std::mem::size_of::<T>() * self.data.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,5 +316,49 @@ mod tests {
             items,
             vec![(0, 0, 0.0), (0, 1, 1.0), (1, 0, 2.0), (1, 1, 3.0)]
         );
+    }
+
+    #[test]
+    fn packed_panels_cover_prefix_exactly() {
+        let b = DenseMatrix::from_fn(5, 11, |i, j| (i * 100 + j) as f64);
+        for (k, w) in [(11, 4), (11, 11), (11, 64), (7, 3), (1, 1), (8, 4)] {
+            let packed = PackedPanels::pack(&b, k, w);
+            assert_eq!(packed.b_rows(), 5);
+            assert_eq!(packed.k(), k);
+            assert_eq!(packed.n_panels(), k.div_ceil(w));
+            let mut widths = 0;
+            for p in 0..packed.n_panels() {
+                let width = packed.width(p);
+                widths += width;
+                let panel = packed.panel(p);
+                assert_eq!(panel.len(), 5 * width);
+                for row in 0..5 {
+                    assert_eq!(
+                        &panel[row * width..(row + 1) * width],
+                        &b.row(row)[packed.panel_start(p)..packed.panel_start(p) + width],
+                        "k={k} w={w} panel {p} row {row}"
+                    );
+                }
+            }
+            assert_eq!(widths, k);
+            assert_eq!(packed.packed_bytes(), 8 * 5 * k);
+        }
+    }
+
+    #[test]
+    fn packed_panels_last_panel_is_ragged() {
+        let b = DenseMatrix::from_fn(3, 10, |i, j| (i + j) as f64);
+        let packed = PackedPanels::pack(&b, 10, 4);
+        assert_eq!(packed.n_panels(), 3);
+        assert_eq!(packed.width(0), 4);
+        assert_eq!(packed.width(2), 2);
+        assert_eq!(packed.panel(2).len(), 3 * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot pack")]
+    fn packed_panels_reject_k_beyond_b() {
+        let b = DenseMatrix::<f64>::zeros(2, 4);
+        PackedPanels::pack(&b, 5, 2);
     }
 }

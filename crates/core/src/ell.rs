@@ -60,7 +60,14 @@ impl<T: Scalar, I: Index> EllMatrix<T, I> {
                 col_idx[base + s] = I::from_usize(pad_col);
             }
         }
-        Ok(EllMatrix { rows, cols, width, col_idx, values, nnz: csr.nnz() })
+        Ok(EllMatrix {
+            rows,
+            cols,
+            width,
+            col_idx,
+            values,
+            nnz: csr.nnz(),
+        })
     }
 
     /// Build from COO.
@@ -155,7 +162,8 @@ impl<T: Scalar, I: Index> SparseMatrix<T> for EllMatrix<T, I> {
         for i in 0..self.rows {
             for (&c, &v) in self.row_cols(i).iter().zip(self.row_vals(i)) {
                 if v != T::ZERO {
-                    coo.push(i, c.as_usize(), v).expect("ELL indices are in bounds");
+                    coo.push(i, c.as_usize(), v)
+                        .expect("ELL indices are in bounds");
                 }
             }
         }

@@ -37,7 +37,12 @@ pub enum SparseError {
 impl fmt::Display for SparseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SparseError::IndexOutOfBounds { row, col, rows, cols } => write!(
+            SparseError::IndexOutOfBounds {
+                row,
+                col,
+                rows,
+                cols,
+            } => write!(
                 f,
                 "entry ({row}, {col}) is outside the {rows}x{cols} matrix"
             ),
@@ -74,7 +79,12 @@ mod tests {
 
     #[test]
     fn display_messages_are_descriptive() {
-        let e = SparseError::IndexOutOfBounds { row: 5, col: 7, rows: 4, cols: 4 };
+        let e = SparseError::IndexOutOfBounds {
+            row: 5,
+            col: 7,
+            rows: 4,
+            cols: 4,
+        };
         assert!(e.to_string().contains("(5, 7)"));
         assert!(e.to_string().contains("4x4"));
 

@@ -1,7 +1,7 @@
 //! Memory-footprint accounting (§6.3.5 of the paper).
 
 use crate::{
-    BcsrMatrix, BellMatrix, CooMatrix, Csr5Matrix, CscMatrix, CsrMatrix, DenseMatrix, EllMatrix,
+    BcsrMatrix, BellMatrix, CooMatrix, CscMatrix, Csr5Matrix, CsrMatrix, DenseMatrix, EllMatrix,
     HybMatrix, Index, Scalar, SellMatrix,
 };
 
@@ -91,12 +91,8 @@ mod tests {
     use super::*;
 
     fn sample() -> CooMatrix<f64> {
-        CooMatrix::from_triplets(
-            100,
-            100,
-            &(0..100).map(|i| (i, i, 1.0)).collect::<Vec<_>>(),
-        )
-        .unwrap()
+        CooMatrix::from_triplets(100, 100, &(0..100).map(|i| (i, i, 1.0)).collect::<Vec<_>>())
+            .unwrap()
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! single 3263-nonzero row costs a 3263-slot tail, not 3263 slots on every
 //! row of the matrix.
 
-use crate::{CooMatrix, CsrMatrix, EllMatrix, Index, Scalar, SparseError, SparseFormat, SparseMatrix};
+use crate::{
+    CooMatrix, CsrMatrix, EllMatrix, Index, Scalar, SparseError, SparseFormat, SparseMatrix,
+};
 
 /// A sparse matrix in HYB (ELL + COO) format.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,8 +49,7 @@ impl<T: Scalar, I: Index> HybMatrix<T, I> {
     /// the nonzeros in the regular part).
     pub fn from_csr(csr: &CsrMatrix<T, I>) -> Self {
         let counts: Vec<usize> = (0..csr.rows()).map(|i| csr.row_nnz(i)).collect();
-        Self::from_csr_with_width(csr, choose_width(&counts, 0.95))
-            .expect("chosen width is valid")
+        Self::from_csr_with_width(csr, choose_width(&counts, 0.95)).expect("chosen width is valid")
     }
 
     /// Build from CSR with an explicit ELL width.
@@ -69,9 +70,9 @@ impl<T: Scalar, I: Index> HybMatrix<T, I> {
             }
         }
         let ell_coo: CooMatrix<T, usize> = CooMatrix::from_triplets(rows, cols, &ell_trips)?;
-        let ell_coo: CooMatrix<T, I> = ell_coo.with_index_type().ok_or_else(|| {
-            SparseError::Parse("index type too narrow for HYB split".into())
-        })?;
+        let ell_coo: CooMatrix<T, I> = ell_coo
+            .with_index_type()
+            .ok_or_else(|| SparseError::Parse("index type too narrow for HYB split".into()))?;
         let ell = EllMatrix::from_csr_with_width(&CsrMatrix::from_coo(&ell_coo), width)?;
         Ok(HybMatrix { ell, tail })
     }
@@ -203,7 +204,9 @@ mod tests {
         let coo = CooMatrix::<f64>::from_triplets(
             8,
             8,
-            &(0..8).flat_map(|i| [(i, i, 1.0), (i, (i + 1) % 8, 2.0)]).collect::<Vec<_>>(),
+            &(0..8)
+                .flat_map(|i| [(i, i, 1.0), (i, (i + 1) % 8, 2.0)])
+                .collect::<Vec<_>>(),
         )
         .unwrap();
         let hyb = HybMatrix::from_coo(&coo);

@@ -43,8 +43,8 @@ mod csc;
 mod csr;
 mod csr5;
 mod dense;
-mod error;
 mod ell;
+mod error;
 mod footprint;
 mod hyb;
 mod index;
@@ -59,9 +59,9 @@ pub use coo::CooMatrix;
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
 pub use csr5::{Csr5Matrix, Csr5Tile};
-pub use dense::DenseMatrix;
-pub use error::SparseError;
+pub use dense::{DenseMatrix, PackedPanels};
 pub use ell::EllMatrix;
+pub use error::SparseError;
 pub use footprint::MemoryFootprint;
 pub use hyb::HybMatrix;
 pub use index::Index;
@@ -205,7 +205,10 @@ mod tests {
 
     #[test]
     fn format_parse_aliases() {
-        assert_eq!("ELLPACK".parse::<SparseFormat>().unwrap(), SparseFormat::Ell);
+        assert_eq!(
+            "ELLPACK".parse::<SparseFormat>().unwrap(),
+            SparseFormat::Ell
+        );
         assert_eq!(
             "blocked-ell".parse::<SparseFormat>().unwrap(),
             SparseFormat::Bell

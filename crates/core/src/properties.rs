@@ -47,7 +47,11 @@ impl MatrixProperties {
         assert_eq!(row_counts.len(), rows, "one count per row required");
         let nnz: usize = row_counts.iter().sum();
         let max_row_nnz = row_counts.iter().copied().max().unwrap_or(0);
-        let avg_row_nnz = if rows == 0 { 0.0 } else { nnz as f64 / rows as f64 };
+        let avg_row_nnz = if rows == 0 {
+            0.0
+        } else {
+            nnz as f64 / rows as f64
+        };
         let variance = if rows == 0 {
             0.0
         } else {
@@ -66,9 +70,17 @@ impl MatrixProperties {
             max_row_nnz as f64 / avg_row_nnz
         };
         let cells = rows.saturating_mul(cols);
-        let density = if cells == 0 { 0.0 } else { nnz as f64 / cells as f64 };
+        let density = if cells == 0 {
+            0.0
+        } else {
+            nnz as f64 / cells as f64
+        };
         let ell_slots = rows.saturating_mul(max_row_nnz);
-        let ell_efficiency = if ell_slots == 0 { 1.0 } else { nnz as f64 / ell_slots as f64 };
+        let ell_efficiency = if ell_slots == 0 {
+            1.0
+        } else {
+            nnz as f64 / ell_slots as f64
+        };
         MatrixProperties {
             rows,
             cols,

@@ -67,7 +67,11 @@ pub fn max_abs_error<T: Scalar>(got: &DenseMatrix<T>, expected: &DenseMatrix<T>)
 /// product length (accumulation order differs between kernels, so error
 /// grows with the number of summed terms).
 pub fn suggested_tolerance<T: Scalar>(dot_length: usize) -> f64 {
-    let eps = if T::BYTES == 4 { f32::EPSILON as f64 } else { f64::EPSILON };
+    let eps = if T::BYTES == 4 {
+        f32::EPSILON as f64
+    } else {
+        f64::EPSILON
+    };
     // sqrt(n) expected error growth for random signs, with generous headroom.
     eps * 64.0 * (dot_length.max(1) as f64).sqrt()
 }

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use spmm_core::{
-    BcsrMatrix, BellMatrix, CooMatrix, Csr5Matrix, CscMatrix, CsrMatrix, DenseMatrix, EllMatrix,
+    BcsrMatrix, BellMatrix, CooMatrix, CscMatrix, Csr5Matrix, CsrMatrix, DenseMatrix, EllMatrix,
     MemoryFootprint, SparseMatrix,
 };
 

@@ -29,7 +29,10 @@ pub struct LaunchConfig {
 impl LaunchConfig {
     /// One thread per work item with `block`-sized blocks.
     pub fn cover(work_items: usize, block: usize) -> Self {
-        LaunchConfig { grid: work_items.div_ceil(block.max(1)), block: block.max(1) }
+        LaunchConfig {
+            grid: work_items.div_ceil(block.max(1)),
+            block: block.max(1),
+        }
     }
 
     /// Total threads launched.
@@ -273,7 +276,11 @@ mod tests {
         launch(
             &dev(),
             cfg,
-            KernelCost { executed_flops: 0, working_set_bytes: 0, runtime_penalty: 1.0 },
+            KernelCost {
+                executed_flops: 0,
+                working_set_bytes: 0,
+                runtime_penalty: 1.0,
+            },
             |tid, _t| {
                 if tid < 100 {
                     hits[tid] += 1;
@@ -330,7 +337,11 @@ mod tests {
         let stats = launch(
             &dev(),
             LaunchConfig::cover(32, 32),
-            KernelCost { executed_flops: 64, working_set_bytes: 256, runtime_penalty: 1.0 },
+            KernelCost {
+                executed_flops: 64,
+                working_set_bytes: 256,
+                runtime_penalty: 1.0,
+            },
             |_tid, t| t.load(buf::B, 0, 8),
         );
         // 5 us launch overhead dominates.
@@ -357,7 +368,11 @@ mod tests {
         let stats = launch(
             &dev(),
             LaunchConfig::cover(32 * 10_000, 256),
-            KernelCost { executed_flops: 0, working_set_bytes: 1, runtime_penalty: 1.0 },
+            KernelCost {
+                executed_flops: 0,
+                working_set_bytes: 1,
+                runtime_penalty: 1.0,
+            },
             |tid, t| t.load(buf::B, tid * 8, 8),
         );
         assert!(stats.sampled_warps <= 70);

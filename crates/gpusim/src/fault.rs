@@ -31,7 +31,11 @@ impl fmt::Display for GpuRuntimeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.reason {
             FaultReason::OffloadRuntimeFailure => {
-                write!(f, "OpenMP target offload runtime failed for `{}`", self.matrix)
+                write!(
+                    f,
+                    "OpenMP target offload runtime failed for `{}`",
+                    self.matrix
+                )
             }
             FaultReason::OutOfDeviceMemory => {
                 write!(f, "`{}` exceeds device memory", self.matrix)
@@ -56,13 +60,19 @@ pub struct FlakyRuntime {
 impl FlakyRuntime {
     /// A healthy runtime (the paper's Grace Hopper machine).
     pub fn healthy() -> Self {
-        FlakyRuntime { fail_permille: 0, seed: 0 }
+        FlakyRuntime {
+            fail_permille: 0,
+            seed: 0,
+        }
     }
 
     /// The Aries runtime: most matrices fail (the paper salvaged 3 of 9
     /// in Study 7 and none reliably in Study 1).
     pub fn aries() -> Self {
-        FlakyRuntime { fail_permille: 600, seed: 0xA21E5 }
+        FlakyRuntime {
+            fail_permille: 600,
+            seed: 0xA21E5,
+        }
     }
 
     fn hash(&self, matrix: &str) -> u64 {
@@ -120,15 +130,34 @@ mod tests {
     fn aries_runtime_fails_deterministically_for_some() {
         let rt = FlakyRuntime::aries();
         let names = [
-            "2cubes_sphere", "af23560", "bcsstk13", "bcsstk17", "cant", "cop20k_A",
-            "crankseg_2", "dw4096", "nd24k", "pdb1HYS", "rma10", "shallow_water1",
-            "torso1", "x104",
+            "2cubes_sphere",
+            "af23560",
+            "bcsstk13",
+            "bcsstk17",
+            "cant",
+            "cop20k_A",
+            "crankseg_2",
+            "dw4096",
+            "nd24k",
+            "pdb1HYS",
+            "rma10",
+            "shallow_water1",
+            "torso1",
+            "x104",
         ];
-        let failures: Vec<&str> = names.iter().copied().filter(|n| rt.check(n).is_err()).collect();
+        let failures: Vec<&str> = names
+            .iter()
+            .copied()
+            .filter(|n| rt.check(n).is_err())
+            .collect();
         // Some fail, some survive, and the split is stable.
         assert!(!failures.is_empty());
         assert!(failures.len() < names.len());
-        let again: Vec<&str> = names.iter().copied().filter(|n| rt.check(n).is_err()).collect();
+        let again: Vec<&str> = names
+            .iter()
+            .copied()
+            .filter(|n| rt.check(n).is_err())
+            .collect();
         assert_eq!(failures, again);
     }
 

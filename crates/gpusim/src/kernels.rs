@@ -21,7 +21,12 @@ pub const OPENMP_OFFLOAD_PENALTY: f64 = 2.5;
 pub const BLOCK: usize = 256;
 
 /// Device bytes an SpMM launch needs: the formatted A payload plus B and C.
-pub fn device_bytes_required<T: Scalar>(a_payload_bytes: usize, b: &DenseMatrix<T>, k: usize, rows: usize) -> usize {
+pub fn device_bytes_required<T: Scalar>(
+    a_payload_bytes: usize,
+    b: &DenseMatrix<T>,
+    k: usize,
+    rows: usize,
+) -> usize {
     a_payload_bytes + b.rows() * b.cols() * T::BYTES + rows * k * T::BYTES
 }
 
@@ -188,46 +193,51 @@ pub fn bcsr_spmm_gpu<T: Scalar, I: Index>(
         runtime_penalty: OPENMP_OFFLOAD_PENALTY,
     };
     let c_slice = c.as_mut_slice();
-    launch(device, LaunchConfig::cover(block_rows, BLOCK), cost, |tid, t| {
-        if tid >= block_rows {
-            return;
-        }
-        t.load(buf::A_PTR, tid * I::BYTES, 2 * I::BYTES);
-        let row_lo = tid * r;
-        let row_hi = (row_lo + r).min(rows);
-        let lo = a.row_ptr()[tid].as_usize();
-        let hi = a.row_ptr()[tid + 1].as_usize();
-        for bidx in lo..hi {
-            t.load(buf::A_IDX, bidx * I::BYTES, I::BYTES);
-            t.load(buf::A_VALS, bidx * area * T::BYTES, area * T::BYTES);
-            let bcol = a.col_idx()[bidx].as_usize();
-            let block = a.block_values(bidx);
-            let col_lo = bcol * bc_w;
-            for lc in 0..bc_w {
-                let j = col_lo + lc;
-                if j >= cols {
-                    break;
-                }
-                t.load(buf::B, (j * bcols) * T::BYTES, k * T::BYTES);
+    launch(
+        device,
+        LaunchConfig::cover(block_rows, BLOCK),
+        cost,
+        |tid, t| {
+            if tid >= block_rows {
+                return;
             }
-            for i in row_lo..row_hi {
-                let brow = &block[(i - row_lo) * bc_w..(i - row_lo + 1) * bc_w];
-                let c_row = &mut c_slice[i * k..(i + 1) * k];
-                for (lc, &v) in brow.iter().enumerate() {
+            t.load(buf::A_PTR, tid * I::BYTES, 2 * I::BYTES);
+            let row_lo = tid * r;
+            let row_hi = (row_lo + r).min(rows);
+            let lo = a.row_ptr()[tid].as_usize();
+            let hi = a.row_ptr()[tid + 1].as_usize();
+            for bidx in lo..hi {
+                t.load(buf::A_IDX, bidx * I::BYTES, I::BYTES);
+                t.load(buf::A_VALS, bidx * area * T::BYTES, area * T::BYTES);
+                let bcol = a.col_idx()[bidx].as_usize();
+                let block = a.block_values(bidx);
+                let col_lo = bcol * bc_w;
+                for lc in 0..bc_w {
                     let j = col_lo + lc;
-                    if j < cols && v != T::ZERO {
-                        let b_row = &b.row(j)[..k];
-                        for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                            *cv = v.mul_add(bv, *cv);
+                    if j >= cols {
+                        break;
+                    }
+                    t.load(buf::B, (j * bcols) * T::BYTES, k * T::BYTES);
+                }
+                for i in row_lo..row_hi {
+                    let brow = &block[(i - row_lo) * bc_w..(i - row_lo + 1) * bc_w];
+                    let c_row = &mut c_slice[i * k..(i + 1) * k];
+                    for (lc, &v) in brow.iter().enumerate() {
+                        let j = col_lo + lc;
+                        if j < cols && v != T::ZERO {
+                            let b_row = &b.row(j)[..k];
+                            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                                *cv = v.mul_add(bv, *cv);
+                            }
                         }
                     }
                 }
             }
-        }
-        for i in row_lo..row_hi {
-            t.store(buf::C, i * k * T::BYTES, k * T::BYTES);
-        }
-    })
+            for i in row_lo..row_hi {
+                t.store(buf::C, i * k * T::BYTES, k * T::BYTES);
+            }
+        },
+    )
 }
 
 /// SELL-C-σ SpMM, one thread per padded row position — the format's home
@@ -252,37 +262,42 @@ pub fn sell_spmm_gpu<T: Scalar, I: Index>(
         runtime_penalty: OPENMP_OFFLOAD_PENALTY,
     };
     let c_slice = c.as_mut_slice();
-    launch(device, LaunchConfig::cover(padded_rows, BLOCK), cost, |tid, t| {
-        if tid >= padded_rows {
-            return;
-        }
-        let s = tid / height;
-        let lane = tid % height;
-        let p = s * height + lane;
-        if p >= rows {
-            return; // ghost lane of the ragged last slice
-        }
-        let (base, width) = a.slice(s);
-        let row = a.row_at(p);
-        let mut acc = vec![T::ZERO; k];
-        for slot in 0..width {
-            let at = base + slot * height + lane;
-            // Lane-major storage: adjacent lanes read adjacent addresses.
-            t.load(buf::A_IDX, at * I::BYTES, I::BYTES);
-            t.load(buf::A_VALS, at * T::BYTES, T::BYTES);
-            let v = a.values()[at];
-            if v != T::ZERO {
-                let j = a.col_idx()[at].as_usize();
-                t.load(buf::B, (j * bcols) * T::BYTES, k * T::BYTES);
-                let b_row = &b.row(j)[..k];
-                for (av, &bv) in acc.iter_mut().zip(b_row) {
-                    *av = v.mul_add(bv, *av);
+    launch(
+        device,
+        LaunchConfig::cover(padded_rows, BLOCK),
+        cost,
+        |tid, t| {
+            if tid >= padded_rows {
+                return;
+            }
+            let s = tid / height;
+            let lane = tid % height;
+            let p = s * height + lane;
+            if p >= rows {
+                return; // ghost lane of the ragged last slice
+            }
+            let (base, width) = a.slice(s);
+            let row = a.row_at(p);
+            let mut acc = vec![T::ZERO; k];
+            for slot in 0..width {
+                let at = base + slot * height + lane;
+                // Lane-major storage: adjacent lanes read adjacent addresses.
+                t.load(buf::A_IDX, at * I::BYTES, I::BYTES);
+                t.load(buf::A_VALS, at * T::BYTES, T::BYTES);
+                let v = a.values()[at];
+                if v != T::ZERO {
+                    let j = a.col_idx()[at].as_usize();
+                    t.load(buf::B, (j * bcols) * T::BYTES, k * T::BYTES);
+                    let b_row = &b.row(j)[..k];
+                    for (av, &bv) in acc.iter_mut().zip(b_row) {
+                        *av = v.mul_add(bv, *av);
+                    }
                 }
             }
-        }
-        t.store(buf::C, row * k * T::BYTES, k * T::BYTES);
-        c_slice[row * k..(row + 1) * k].copy_from_slice(&acc);
-    })
+            t.store(buf::C, row * k * T::BYTES, k * T::BYTES);
+            c_slice[row * k..(row + 1) * k].copy_from_slice(&acc);
+        },
+    )
 }
 
 pub(crate) fn check_shapes<T: Scalar>(
@@ -292,9 +307,19 @@ pub(crate) fn check_shapes<T: Scalar>(
     k: usize,
     c: &DenseMatrix<T>,
 ) {
-    assert_eq!(a_cols, b.rows(), "A has {a_cols} cols but B has {} rows", b.rows());
+    assert_eq!(
+        a_cols,
+        b.rows(),
+        "A has {a_cols} cols but B has {} rows",
+        b.rows()
+    );
     assert!(k <= b.cols(), "k = {k} exceeds B's {} columns", b.cols());
-    assert_eq!(c.rows(), a_rows, "C has {} rows but A has {a_rows}", c.rows());
+    assert_eq!(
+        c.rows(),
+        a_rows,
+        "C has {} rows but A has {a_rows}",
+        c.rows()
+    );
     assert_eq!(c.cols(), k, "C has {} cols but k = {k}", c.cols());
 }
 

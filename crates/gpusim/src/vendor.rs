@@ -35,36 +35,41 @@ pub fn cusparse_csr_spmm<T: Scalar, I: Index>(
         runtime_penalty: 1.0,
     };
     let c_slice = c.as_mut_slice();
-    launch(device, LaunchConfig::cover(rows * warp, BLOCK), cost, |tid, t| {
-        let row = tid / warp;
-        let lane = tid % warp;
-        if row >= rows {
-            return;
-        }
-        if lane == 0 {
-            t.load(buf::A_PTR, row * I::BYTES, 2 * I::BYTES);
-        }
-        let lo = a.row_ptr()[row].as_usize();
-        let hi = a.row_ptr()[row + 1].as_usize();
-        // Lane-strided entries: lane L takes e = lo + L, lo + L + 32, ...
-        let mut e = lo + lane;
-        while e < hi {
-            t.load(buf::A_IDX, e * I::BYTES, I::BYTES);
-            t.load(buf::A_VALS, e * T::BYTES, T::BYTES);
-            let j = a.col_idx()[e].as_usize();
-            let v = a.values()[e];
-            t.load(buf::B, (j * bcols) * T::BYTES, k * T::BYTES);
-            let b_row = &b.row(j)[..k];
-            let c_row = &mut c_slice[row * k..(row + 1) * k];
-            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                *cv = v.mul_add(bv, *cv);
+    launch(
+        device,
+        LaunchConfig::cover(rows * warp, BLOCK),
+        cost,
+        |tid, t| {
+            let row = tid / warp;
+            let lane = tid % warp;
+            if row >= rows {
+                return;
             }
-            e += warp;
-        }
-        if lane == 0 {
-            t.store(buf::C, row * k * T::BYTES, k * T::BYTES);
-        }
-    })
+            if lane == 0 {
+                t.load(buf::A_PTR, row * I::BYTES, 2 * I::BYTES);
+            }
+            let lo = a.row_ptr()[row].as_usize();
+            let hi = a.row_ptr()[row + 1].as_usize();
+            // Lane-strided entries: lane L takes e = lo + L, lo + L + 32, ...
+            let mut e = lo + lane;
+            while e < hi {
+                t.load(buf::A_IDX, e * I::BYTES, I::BYTES);
+                t.load(buf::A_VALS, e * T::BYTES, T::BYTES);
+                let j = a.col_idx()[e].as_usize();
+                let v = a.values()[e];
+                t.load(buf::B, (j * bcols) * T::BYTES, k * T::BYTES);
+                let b_row = &b.row(j)[..k];
+                let c_row = &mut c_slice[row * k..(row + 1) * k];
+                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                    *cv = v.mul_add(bv, *cv);
+                }
+                e += warp;
+            }
+            if lane == 0 {
+                t.store(buf::C, row * k * T::BYTES, k * T::BYTES);
+            }
+        },
+    )
 }
 
 /// cuSPARSE-style COO SpMM: thread per entry with a warp-level segmented

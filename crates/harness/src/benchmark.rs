@@ -4,8 +4,7 @@ use std::str::FromStr;
 use std::time::Duration;
 
 use spmm_core::{
-    suggested_tolerance, verify, CooMatrix, DenseMatrix, MatrixProperties,
-    VerifyError,
+    suggested_tolerance, verify, CooMatrix, DenseMatrix, MatrixProperties, VerifyError,
 };
 use spmm_gpusim::{DeviceProfile, LaunchStats};
 use spmm_kernels::FormatData;
@@ -253,9 +252,7 @@ impl SuiteBenchmark {
             (_, FormatData::Sell(m)) => {
                 spmm_gpusim::kernels::sell_spmm_gpu(device, m, &self.b, k, &mut self.c)
             }
-            (_, other) => {
-                return Err(format!("no GPU kernel for format {}", other.format()))
-            }
+            (_, other) => return Err(format!("no GPU kernel for format {}", other.format())),
         };
         self.last_gpu_stats = Some(stats);
         Ok(())
@@ -328,7 +325,10 @@ impl SpmmBenchmark for SuiteBenchmark {
                 true
             }
             (Backend::Serial, Variant::TransposedB) => {
-                let bt = self.bt.as_ref().ok_or("transposed variant needs format()")?;
+                let bt = self
+                    .bt
+                    .as_ref()
+                    .ok_or("transposed variant needs format()")?;
                 data.spmm_serial_bt(bt, k, &mut self.c)
             }
             (Backend::Serial, Variant::FixedK) => data.spmm_serial_fixed_k(&self.b, k, &mut self.c),
@@ -337,7 +337,10 @@ impl SpmmBenchmark for SuiteBenchmark {
                 true
             }
             (Backend::Parallel, Variant::TransposedB) => {
-                let bt = self.bt.as_ref().ok_or("transposed variant needs format()")?;
+                let bt = self
+                    .bt
+                    .as_ref()
+                    .ok_or("transposed variant needs format()")?;
                 data.spmm_parallel_bt(pool, threads, sched, bt, k, &mut self.c)
             }
             (Backend::Parallel, Variant::FixedK) => {
@@ -363,10 +366,9 @@ impl SpmmBenchmark for SuiteBenchmark {
         let tol = suggested_tolerance::<f64>(self.properties.max_row_nnz.max(1));
         if self.params.op == Op::Spmv {
             let expected = self.coo.spmv_reference(&self.x);
-            let got = DenseMatrix::from_vec(self.y.len(), 1, self.y.clone())
-                .expect("vector reshapes");
-            let want =
-                DenseMatrix::from_vec(expected.len(), 1, expected).expect("vector reshapes");
+            let got =
+                DenseMatrix::from_vec(self.y.len(), 1, self.y.clone()).expect("vector reshapes");
+            let want = DenseMatrix::from_vec(expected.len(), 1, expected).expect("vector reshapes");
             return verify(&got, &want, tol);
         }
         let reference = self.coo.spmm_reference_k(&self.b, self.params.k);
@@ -414,7 +416,15 @@ pub fn run(bench: &mut SuiteBenchmark) -> Result<Report, String> {
         Some(bench.verify())
     };
 
-    Ok(Report::new(bench, &params, format_time, avg_calc, timings, simulated, verification))
+    Ok(Report::new(
+        bench,
+        &params,
+        format_time,
+        avg_calc,
+        timings,
+        simulated,
+        verification,
+    ))
 }
 
 #[cfg(test)]
@@ -459,7 +469,12 @@ mod tests {
             (Csr5, Backend::Parallel, Variant::Normal),
         ];
         for &(format, backend, variant) in combos {
-            let params = Params { format, backend, variant, ..small_params() };
+            let params = Params {
+                format,
+                backend,
+                variant,
+                ..small_params()
+            };
             let mut bench = SuiteBenchmark::from_params(params).unwrap();
             let report = run(&mut bench)
                 .unwrap_or_else(|e| panic!("{format}/{}/{}: {e}", backend.name(), variant.name()));
@@ -504,7 +519,10 @@ mod tests {
 
     #[test]
     fn gpu_reports_simulated_time() {
-        let params = Params { backend: Backend::GpuH100, ..small_params() };
+        let params = Params {
+            backend: Backend::GpuH100,
+            ..small_params()
+        };
         let mut bench = SuiteBenchmark::from_params(params).unwrap();
         let report = run(&mut bench).unwrap();
         assert!(report.simulated);
@@ -514,7 +532,11 @@ mod tests {
     #[test]
     fn spmv_op_end_to_end() {
         for backend in [Backend::Serial, Backend::Parallel] {
-            let params = Params { op: Op::Spmv, backend, ..small_params() };
+            let params = Params {
+                op: Op::Spmv,
+                backend,
+                ..small_params()
+            };
             let mut bench = SuiteBenchmark::from_params(params).unwrap();
             let report = run(&mut bench).unwrap();
             assert_eq!(report.verified, Some(true), "{}", backend.name());
@@ -522,7 +544,11 @@ mod tests {
             assert_eq!(report.useful_flops, 2 * report.nnz as u64);
         }
         // SpMV has no GPU kernels.
-        let params = Params { op: Op::Spmv, backend: Backend::GpuH100, ..small_params() };
+        let params = Params {
+            op: Op::Spmv,
+            backend: Backend::GpuH100,
+            ..small_params()
+        };
         let mut bench = SuiteBenchmark::from_params(params).unwrap();
         assert!(run(&mut bench).is_err());
         // SELL/HYB/CSR5 have no SpMV kernels either: clean error.
@@ -539,7 +565,11 @@ mod tests {
     fn extension_formats_run_through_the_harness() {
         for format in [spmm_core::SparseFormat::Sell, spmm_core::SparseFormat::Hyb] {
             for backend in [Backend::Serial, Backend::Parallel] {
-                let params = Params { format, backend, ..small_params() };
+                let params = Params {
+                    format,
+                    backend,
+                    ..small_params()
+                };
                 let mut bench = SuiteBenchmark::from_params(params).unwrap();
                 let report = run(&mut bench).unwrap();
                 assert_eq!(report.verified, Some(true), "{format}/{}", backend.name());
@@ -549,7 +579,10 @@ mod tests {
 
     #[test]
     fn unknown_matrix_is_an_error() {
-        let params = Params { matrix: "not_a_matrix".into(), ..small_params() };
+        let params = Params {
+            matrix: "not_a_matrix".into(),
+            ..small_params()
+        };
         assert!(SuiteBenchmark::from_params(params).is_err());
     }
 

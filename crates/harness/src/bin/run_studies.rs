@@ -8,7 +8,7 @@ use std::fs;
 use std::path::PathBuf;
 
 use spmm_harness::studies::{
-    load_suite, study1, study10, study2, study3, study3_1, study4, study5, study6, study7,
+    load_suite, study1, study10, study11, study2, study3, study3_1, study4, study5, study6, study7,
     study8, study9, table51, Arch, StudyContext, StudyResult,
 };
 
@@ -66,7 +66,11 @@ fn main() {
     let emit = |r: &StudyResult| {
         write(&out, &format!("{}.csv", r.id), &r.to_csv());
         write(&out, &format!("{}.json", r.id), &r.to_json());
-        write(&out, &format!("{}.svg", r.id), &spmm_harness::svg::study_svg(r));
+        write(
+            &out,
+            &format!("{}.svg", r.id),
+            &spmm_harness::svg::study_svg(r),
+        );
         if charts {
             println!("{}", r.render());
         } else {
@@ -126,6 +130,15 @@ fn main() {
     // Study 10 (extension): the padding-repair formats.
     eprintln!("measuring Study 10 (ELL vs SELL vs HYB) on the host ...");
     emit(&study10::study10(&ctx, &suite));
+
+    // Study 11 (extension): the cache-blocked tiled engine.
+    eprintln!("measuring Study 11 (tiled vs flat) on the host ...");
+    let s11 = study11::study11(&ctx, &suite);
+    emit(&s11);
+    println!("Study 11 tiled-over-flat serial speedup (mean over matrices):");
+    for (format, speedup) in study11::tiled_speedup(&s11) {
+        println!("  {format}: {speedup:.2}x");
+    }
 
     // Memory-footprint extra (§6.3.5): report per-format bytes at f64/usize.
     let mut footprint_csv = String::from("matrix");

@@ -11,11 +11,19 @@ use spmm_harness::{Params, Report};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--list-matrices") {
-        println!("{:<16} {:>8} {:>10} {:>6} {:>6} {:>6}", "name", "rows", "nnz", "max", "avg", "ratio");
+        println!(
+            "{:<16} {:>8} {:>10} {:>6} {:>6} {:>6}",
+            "name", "rows", "nnz", "max", "avg", "ratio"
+        );
         for spec in spmm_matgen::full_suite() {
             println!(
                 "{:<16} {:>8} {:>10} {:>6} {:>6} {:>6}",
-                spec.name, spec.rows, spec.paper.nnz, spec.paper.max, spec.paper.avg, spec.paper.ratio
+                spec.name,
+                spec.rows,
+                spec.paper.nnz,
+                spec.paper.max,
+                spec.paper.avg,
+                spec.paper.ratio
             );
         }
         return;
@@ -33,7 +41,11 @@ fn main() {
     if !params.thread_list.is_empty() {
         let mut best: Option<(usize, Report)> = None;
         for &t in &params.thread_list {
-            let p = Params { threads: t, thread_list: Vec::new(), ..params.clone() };
+            let p = Params {
+                threads: t,
+                thread_list: Vec::new(),
+                ..params.clone()
+            };
             match SuiteBenchmark::from_params(p).and_then(|mut b| run(&mut b)) {
                 Ok(report) => {
                     if params.debug {

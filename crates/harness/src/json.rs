@@ -388,9 +388,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                 while *pos < bytes.len() && bytes[*pos] & 0xC0 == 0x80 {
                     *pos += 1;
                 }
-                out.push_str(
-                    std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?,
-                );
+                out.push_str(std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?);
             }
         }
     }

@@ -82,9 +82,7 @@ impl Params {
             };
             match arg.as_str() {
                 "-m" | "--matrix" => p.matrix = value(arg)?.clone(),
-                "-f" | "--format" => {
-                    p.format = value(arg)?.parse().map_err(|e| format!("{e}"))?
-                }
+                "-f" | "--format" => p.format = value(arg)?.parse().map_err(|e| format!("{e}"))?,
                 "--backend" => {
                     p.backend = value(arg)?.parse()?;
                 }
@@ -116,9 +114,7 @@ impl Params {
                     p.schedule = value(arg)?.parse()?;
                 }
                 "--scale" => {
-                    p.scale = value(arg)?
-                        .parse()
-                        .map_err(|e| format!("bad scale: {e}"))?;
+                    p.scale = value(arg)?.parse().map_err(|e| format!("bad scale: {e}"))?;
                 }
                 "--seed" => {
                     p.seed = value(arg)?.parse().map_err(|e| format!("bad seed: {e}"))?;
@@ -165,7 +161,8 @@ impl Params {
 }
 
 fn parse_num(s: &str) -> Result<usize, String> {
-    s.parse::<usize>().map_err(|e| format!("bad number `{s}`: {e}"))
+    s.parse::<usize>()
+        .map_err(|e| format!("bad number `{s}`: {e}"))
 }
 
 #[cfg(test)]
@@ -188,9 +185,28 @@ mod tests {
     #[test]
     fn full_flag_set_parses() {
         let p = parse(&[
-            "-m", "torso1", "-f", "bcsr", "--backend", "parallel", "-n", "5", "-t", "16",
-            "-b", "8", "-k", "256", "--schedule", "dynamic,32", "--scale", "0.1", "--seed",
-            "7", "--csv", "-d",
+            "-m",
+            "torso1",
+            "-f",
+            "bcsr",
+            "--backend",
+            "parallel",
+            "-n",
+            "5",
+            "-t",
+            "16",
+            "-b",
+            "8",
+            "-k",
+            "256",
+            "--schedule",
+            "dynamic,32",
+            "--scale",
+            "0.1",
+            "--seed",
+            "7",
+            "--csv",
+            "-d",
         ])
         .unwrap();
         assert_eq!(p.matrix, "torso1");

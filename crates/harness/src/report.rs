@@ -184,7 +184,11 @@ impl Report {
 
 impl fmt::Display for Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "== {} / {} / {} / {} ==", self.matrix, self.format, self.backend, self.variant)?;
+        writeln!(
+            f,
+            "== {} / {} / {} / {} ==",
+            self.matrix, self.format, self.backend, self.variant
+        )?;
         writeln!(
             f,
             "matrix:      {}x{}, nnz {}, max {}, avg {:.1}, ratio {:.1}, var {:.1}, std {:.1}",
@@ -207,7 +211,11 @@ impl fmt::Display for Report {
             f,
             "calc time:   {:.6} s avg{}",
             self.avg_calc_time_s,
-            if self.simulated { " (simulated device time)" } else { "" }
+            if self.simulated {
+                " (simulated device time)"
+            } else {
+                ""
+            }
         )?;
         writeln!(f, "total time:  {:.6} s", self.total_time_s)?;
         writeln!(

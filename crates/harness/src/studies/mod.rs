@@ -11,6 +11,7 @@
 
 pub mod study1;
 pub mod study10;
+pub mod study11;
 pub mod study2;
 pub mod study3;
 pub mod study3_1;
@@ -46,14 +47,26 @@ pub struct StudyContext {
 
 impl Default for StudyContext {
     fn default() -> Self {
-        StudyContext { scale: 0.02, seed: 42, k: 128, threads: 32, block: 4 }
+        StudyContext {
+            scale: 0.02,
+            seed: 42,
+            k: 128,
+            threads: 32,
+            block: 4,
+        }
     }
 }
 
 impl StudyContext {
     /// A tiny configuration for unit tests and smoke runs.
     pub fn quick() -> Self {
-        StudyContext { scale: 0.003, seed: 42, k: 16, threads: 4, block: 4 }
+        StudyContext {
+            scale: 0.003,
+            seed: 42,
+            k: 16,
+            threads: 4,
+            block: 4,
+        }
     }
 }
 
@@ -116,7 +129,12 @@ pub fn load_suite(ctx: &StudyContext) -> Vec<MatrixEntry> {
             let coo = spec.generate(ctx.scale, ctx.seed);
             let props = coo.properties();
             let scale_up = spec.rows as f64 / props.rows.max(1) as f64;
-            MatrixEntry { name: spec.name.to_string(), coo, props, scale_up }
+            MatrixEntry {
+                name: spec.name.to_string(),
+                coo,
+                props,
+                scale_up,
+            }
         })
         .collect()
 }
@@ -151,6 +169,36 @@ pub fn workload(
         scaled(data.stored_entries()),
         entry.props.max_row_nnz,
         scaled(data.memory_footprint()),
+        block,
+        k,
+    )
+    .with_col_window(window)
+}
+
+/// Describe a formatted matrix for tile selection on the *host*: the
+/// replica exactly as it will run, with no scale-up. Tile shapes must
+/// match the matrix actually being measured — feeding the analytic
+/// model's full-size workload here would pick panels for a matrix 50×
+/// larger than the one in memory.
+pub fn host_workload(
+    data: &FormatData<f64>,
+    entry: &MatrixEntry,
+    block: usize,
+    k: usize,
+) -> SpmmWorkload {
+    let window = match spmm_matgen::by_name(&entry.name).map(|s| s.structure) {
+        Some(spmm_matgen::Structure::Banded { .. }) => 2 * entry.props.max_row_nnz,
+        Some(spmm_matgen::Structure::HeavyRows { .. }) => entry.props.cols,
+        None => entry.props.bandwidth.max(1),
+    };
+    SpmmWorkload::new(
+        data.format(),
+        data.rows(),
+        data.cols(),
+        data.nnz(),
+        data.stored_entries(),
+        entry.props.max_row_nnz,
+        data.memory_footprint(),
         block,
         k,
     )
@@ -281,17 +329,13 @@ impl StudyResult {
 }
 
 /// Format a matrix into every paper format once (block size from ctx).
-pub fn format_all(
-    entry: &MatrixEntry,
-    block: usize,
-) -> Vec<(SparseFormat, FormatData<f64>)> {
+pub fn format_all(entry: &MatrixEntry, block: usize) -> Vec<(SparseFormat, FormatData<f64>)> {
     SparseFormat::PAPER
         .iter()
         .map(|&f| {
             (
                 f,
-                FormatData::from_coo(f, &entry.coo, block)
-                    .expect("paper formats always construct"),
+                FormatData::from_coo(f, &entry.coo, block).expect("paper formats always construct"),
             )
         })
         .collect()
@@ -316,8 +360,14 @@ mod tests {
             title: "T".into(),
             rows: vec!["m1".into(), "m2".into()],
             series: vec![
-                Series { label: "a".into(), values: vec![1.0, f64::NAN] },
-                Series { label: "b".into(), values: vec![2.0, 3.0] },
+                Series {
+                    label: "a".into(),
+                    values: vec![1.0, f64::NAN],
+                },
+                Series {
+                    label: "b".into(),
+                    values: vec![2.0, 3.0],
+                },
             ],
             unit: "MFLOPS".into(),
         };

@@ -37,7 +37,10 @@ pub fn study1(ctx: &StudyContext, arch: &Arch, suite: &[MatrixEntry]) -> StudyRe
     let mut series: Vec<Series> = Vec::new();
     for f in spmm_core::SparseFormat::PAPER {
         for b in backends {
-            series.push(Series { label: format!("{f}/{b}"), values: Vec::new() });
+            series.push(Series {
+                label: format!("{f}/{b}"),
+                values: Vec::new(),
+            });
         }
     }
 
@@ -46,10 +49,8 @@ pub fn study1(ctx: &StudyContext, arch: &Arch, suite: &[MatrixEntry]) -> StudyRe
         let reference = entry.coo.spmm_reference_k(&b, ctx.k);
         for (fi, (_, data)) in super::format_all(entry, ctx.block).into_iter().enumerate() {
             let serial = model_mflops(&arch.machine, &data, entry, ctx.block, ctx.k, 1);
-            let omp =
-                model_mflops(&arch.machine, &data, entry, ctx.block, ctx.k, ctx.threads);
-            let gpu = gpu_mflops(arch, entry, &data, &b, ctx.k, &reference)
-                .unwrap_or(f64::NAN);
+            let omp = model_mflops(&arch.machine, &data, entry, ctx.block, ctx.k, ctx.threads);
+            let gpu = gpu_mflops(arch, entry, &data, &b, ctx.k, &reference).unwrap_or(f64::NAN);
             series[fi * 3].values.push(serial);
             series[fi * 3 + 1].values.push(omp);
             series[fi * 3 + 2].values.push(gpu);
@@ -58,7 +59,12 @@ pub fn study1(ctx: &StudyContext, arch: &Arch, suite: &[MatrixEntry]) -> StudyRe
 
     StudyResult {
         id: format!("study1-{}", arch.label),
-        figure: if arch.label == "arm" { "Figure 5.1" } else { "Figure 5.2" }.to_string(),
+        figure: if arch.label == "arm" {
+            "Figure 5.1"
+        } else {
+            "Figure 5.2"
+        }
+        .to_string(),
         title: format!("Study 1: All Formats — {}", arch.machine.name),
         rows: suite.iter().map(|m| m.name.clone()).collect(),
         series,

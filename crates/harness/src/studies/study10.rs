@@ -18,11 +18,17 @@ pub fn study10(ctx: &StudyContext, suite: &[MatrixEntry]) -> StudyResult {
     let iterations = 2;
     let mut mflops: Vec<Series> = ["ell", "sell", "hyb"]
         .iter()
-        .map(|f| Series { label: format!("{f}/serial"), values: Vec::new() })
+        .map(|f| Series {
+            label: format!("{f}/serial"),
+            values: Vec::new(),
+        })
         .collect();
     let mut blowup: Vec<Series> = ["ell", "sell", "hyb"]
         .iter()
-        .map(|f| Series { label: format!("{f}/stored-per-nnz"), values: Vec::new() })
+        .map(|f| Series {
+            label: format!("{f}/stored-per-nnz"),
+            values: Vec::new(),
+        })
         .collect();
 
     for entry in suite {
@@ -36,7 +42,11 @@ pub fn study10(ctx: &StudyContext, suite: &[MatrixEntry]) -> StudyResult {
         let t = time_repeated(iterations, || {
             spmm_kernels::serial::ell_spmm(&ell, &b, ctx.k, &mut c)
         });
-        assert!(spmm_core::max_rel_error(&c, &reference) < 1e-9, "{} ell", entry.name);
+        assert!(
+            spmm_core::max_rel_error(&c, &reference) < 1e-9,
+            "{} ell",
+            entry.name
+        );
         mflops[0].values.push(useful / t.avg.as_secs_f64() / 1e6);
         blowup[0].values.push(ell.stored_entries() as f64 / nnz);
 
@@ -44,7 +54,11 @@ pub fn study10(ctx: &StudyContext, suite: &[MatrixEntry]) -> StudyResult {
         let t = time_repeated(iterations, || {
             spmm_kernels::extended::sell_spmm(&sell, &b, ctx.k, &mut c)
         });
-        assert!(spmm_core::max_rel_error(&c, &reference) < 1e-9, "{} sell", entry.name);
+        assert!(
+            spmm_core::max_rel_error(&c, &reference) < 1e-9,
+            "{} sell",
+            entry.name
+        );
         mflops[1].values.push(useful / t.avg.as_secs_f64() / 1e6);
         blowup[1].values.push(sell.stored_entries() as f64 / nnz);
 
@@ -52,7 +66,11 @@ pub fn study10(ctx: &StudyContext, suite: &[MatrixEntry]) -> StudyResult {
         let t = time_repeated(iterations, || {
             spmm_kernels::extended::hyb_spmm(&hyb, &b, ctx.k, &mut c)
         });
-        assert!(spmm_core::max_rel_error(&c, &reference) < 1e-9, "{} hyb", entry.name);
+        assert!(
+            spmm_core::max_rel_error(&c, &reference) < 1e-9,
+            "{} hyb",
+            entry.name
+        );
         mflops[2].values.push(useful / t.avg.as_secs_f64() / 1e6);
         blowup[2].values.push(hyb.stored_entries() as f64 / nnz);
     }
@@ -78,7 +96,11 @@ mod tests {
     fn padding_repair_formats_beat_ell_on_torso1() {
         // torso1 is the matrix ELL dies on (column ratio ≈ 30-44); both
         // repair strategies must store far fewer slots and compute faster.
-        let ctx = StudyContext { scale: 0.02, k: 32, ..StudyContext::quick() };
+        let ctx = StudyContext {
+            scale: 0.02,
+            k: 32,
+            ..StudyContext::quick()
+        };
         let suite: Vec<_> = load_suite(&ctx)
             .into_iter()
             .filter(|m| m.name == "torso1")
@@ -93,8 +115,14 @@ mod tests {
         };
         assert!(at("sell/stored-per-nnz") < at("ell/stored-per-nnz") / 2.0);
         assert!(at("hyb/stored-per-nnz") < at("ell/stored-per-nnz") / 2.0);
-        assert!(at("sell/serial") > at("ell/serial"), "sell should beat ell on torso1");
-        assert!(at("hyb/serial") > at("ell/serial"), "hyb should beat ell on torso1");
+        assert!(
+            at("sell/serial") > at("ell/serial"),
+            "sell should beat ell on torso1"
+        );
+        assert!(
+            at("hyb/serial") > at("ell/serial"),
+            "hyb should beat ell on torso1"
+        );
     }
 
     #[test]
@@ -108,7 +136,12 @@ mod tests {
         }
         // stored/nnz is >= ~1 for every format.
         for s in r.series.iter().filter(|s| s.label.contains("stored")) {
-            assert!(s.values.iter().all(|&v| v >= 0.99), "{}: {:?}", s.label, s.values);
+            assert!(
+                s.values.iter().all(|&v| v >= 0.99),
+                "{}: {:?}",
+                s.label,
+                s.values
+            );
         }
     }
 }

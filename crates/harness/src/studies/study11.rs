@@ -1,0 +1,192 @@
+//! Study 11 (extension, beyond the paper): the cache-blocked tiled engine.
+//!
+//! The paper's Study 9 stops at code-generation fixes (const-`K`, hoisted
+//! loads) and §6.3.2 points at blocking/tiling as the next optimization
+//! class. This study measures that step on the host: the flat serial CSR /
+//! ELL / BCSR kernels (and the const-`K` CSR variant, Study 9's winner)
+//! against [`spmm_kernels::tiled`] running B panel-packed with the tile
+//! shape chosen by [`spmm_perfmodel::select_tile_shape`] from the host
+//! cache hierarchy. Packing happens outside the timed region, matching how
+//! Study 8 treats its pre-transposed B: a one-time layout cost amortized
+//! over the `n` SpMM applications of a solver loop.
+
+use spmm_core::{DenseMatrix, SparseFormat};
+use spmm_kernels::tiled::TileConfig;
+use spmm_perfmodel::{select_tile_shape, MachineProfile};
+
+use super::{host_workload, MatrixEntry, Series, StudyContext, StudyResult};
+use crate::timer::time_repeated;
+
+/// The formats with tiled kernels, in report order.
+pub const TILED_FORMATS: [SparseFormat; 3] =
+    [SparseFormat::Csr, SparseFormat::Ell, SparseFormat::Bcsr];
+
+/// Pick the tile shape for one (matrix, format, k) on `machine` — the
+/// cache-aware selection the study (and the format advisor) uses. Built
+/// on [`host_workload`]: the shape fits the replica in memory, not the
+/// scaled-up matrix the analytic model reasons about.
+pub fn tile_config(
+    machine: &MachineProfile,
+    data: &spmm_kernels::FormatData<f64>,
+    entry: &MatrixEntry,
+    block: usize,
+    k: usize,
+) -> TileConfig {
+    let shape = select_tile_shape(
+        machine,
+        &host_workload(data, entry, block, k),
+        &spmm_kernels::optimized::SUPPORTED_K,
+    );
+    TileConfig::new(shape.panel_w, shape.row_block)
+}
+
+/// Measured serial MFLOPS of the flat kernels vs the tiled engine, per
+/// format and matrix, plus the selected panel width as a companion series.
+pub fn study11(ctx: &StudyContext, suite: &[MatrixEntry]) -> StudyResult {
+    let machine = MachineProfile::container_host();
+    let iterations = 2;
+
+    let mut series: Vec<Series> = Vec::new();
+    for f in TILED_FORMATS {
+        series.push(Series {
+            label: format!("{f}/flat"),
+            values: Vec::new(),
+        });
+        series.push(Series {
+            label: format!("{f}/tiled"),
+            values: Vec::new(),
+        });
+    }
+    series.push(Series {
+        label: "csr/flat-const".into(),
+        values: Vec::new(),
+    });
+    series.push(Series {
+        label: "csr/panel-w".into(),
+        values: Vec::new(),
+    });
+
+    for entry in suite {
+        let b = spmm_matgen::gen::dense_b(entry.coo.cols(), ctx.k, ctx.seed ^ 0xB);
+        let reference = entry.coo.spmm_reference_k(&b, ctx.k);
+        let useful = spmm_kernels::spmm_flops(entry.coo.nnz(), ctx.k) as f64;
+        let mut c = DenseMatrix::zeros(entry.coo.rows(), ctx.k);
+
+        for (fi, format) in TILED_FORMATS.iter().enumerate() {
+            let data = spmm_kernels::FormatData::from_coo(*format, &entry.coo, ctx.block)
+                .expect("paper formats always construct");
+
+            let t = time_repeated(iterations, || data.spmm_serial(&b, ctx.k, &mut c));
+            assert!(
+                spmm_core::max_rel_error(&c, &reference) < 1e-9,
+                "{} {format} flat",
+                entry.name
+            );
+            series[fi * 2]
+                .values
+                .push(useful / t.avg.as_secs_f64() / 1e6);
+
+            let cfg = tile_config(&machine, &data, entry, ctx.block, ctx.k);
+            let packed = cfg.pack(&b, ctx.k);
+            let t = time_repeated(iterations, || {
+                data.spmm_serial_tiled(&packed, cfg, &mut c);
+            });
+            assert!(
+                spmm_core::max_rel_error(&c, &reference) < 1e-9,
+                "{} {format} tiled",
+                entry.name
+            );
+            series[fi * 2 + 1]
+                .values
+                .push(useful / t.avg.as_secs_f64() / 1e6);
+
+            if *format == SparseFormat::Csr {
+                let const_mflops = if data.spmm_serial_fixed_k(&b, ctx.k, &mut c) {
+                    let t = time_repeated(iterations, || {
+                        data.spmm_serial_fixed_k(&b, ctx.k, &mut c);
+                    });
+                    assert!(spmm_core::max_rel_error(&c, &reference) < 1e-9);
+                    useful / t.avg.as_secs_f64() / 1e6
+                } else {
+                    f64::NAN // k without a const instantiation
+                };
+                series[6].values.push(const_mflops);
+                series[7].values.push(cfg.panel_w as f64);
+            }
+        }
+    }
+
+    StudyResult {
+        id: "study11".to_string(),
+        figure: "Figure 6.2 (extension)".to_string(),
+        title: "Study 11: Cache-Blocked Tiled SpMM (host-measured)".to_string(),
+        rows: suite.iter().map(|m| m.name.clone()).collect(),
+        series,
+        unit: "MFLOPS".to_string(),
+    }
+}
+
+/// Mean tiled-over-flat speedup per format (1.0 = parity).
+pub fn tiled_speedup(result: &StudyResult) -> Vec<(String, f64)> {
+    TILED_FORMATS
+        .iter()
+        .enumerate()
+        .map(|(fi, f)| {
+            let flat = &result.series[fi * 2].values;
+            let tiled = &result.series[fi * 2 + 1].values;
+            let ratios: Vec<f64> = flat
+                .iter()
+                .zip(tiled)
+                .filter(|(b, t)| b.is_finite() && t.is_finite() && **b > 0.0)
+                .map(|(b, t)| t / b)
+                .collect();
+            let mean = ratios.iter().sum::<f64>() / ratios.len().max(1) as f64;
+            (f.to_string(), mean)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::studies::load_suite;
+
+    #[test]
+    fn study11_measures_all_formats() {
+        let ctx = StudyContext::quick();
+        let suite: Vec<_> = load_suite(&ctx).into_iter().take(3).collect();
+        let r = study11(&ctx, &suite);
+        assert_eq!(r.series.len(), 8); // 3 flat/tiled pairs + const + panel-w
+        for s in &r.series {
+            assert_eq!(s.values.len(), 3, "{}", s.label);
+        }
+        // MFLOPS are positive; panel widths are whole and at most k.
+        for s in &r.series[..7] {
+            assert!(s.values.iter().all(|v| *v > 0.0), "{}", s.label);
+        }
+        for w in &r.series[7].values {
+            assert!(*w >= 1.0 && *w <= ctx.k as f64 && w.fract() == 0.0);
+        }
+        let speedups = tiled_speedup(&r);
+        assert_eq!(speedups.len(), 3);
+        assert!(speedups.iter().all(|(_, s)| s.is_finite() && *s > 0.0));
+    }
+
+    #[test]
+    fn tile_config_respects_k() {
+        let ctx = StudyContext::quick();
+        let suite = load_suite(&ctx);
+        let entry = &suite[0];
+        let data =
+            spmm_kernels::FormatData::from_coo(SparseFormat::Csr, &entry.coo, ctx.block).unwrap();
+        let cfg = tile_config(
+            &MachineProfile::container_host(),
+            &data,
+            entry,
+            ctx.block,
+            16,
+        );
+        assert!(cfg.panel_w >= 1 && cfg.panel_w <= 16);
+        assert!(cfg.row_block >= 1);
+    }
+}

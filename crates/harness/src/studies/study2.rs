@@ -48,7 +48,10 @@ pub fn study2(study1: &StudyResult) -> (StudyResult, Winners) {
                 }
             }
         }
-        series.push(Series { label: format!("{fmt}/best"), values: best });
+        series.push(Series {
+            label: format!("{fmt}/best"),
+            values: best,
+        });
         winners.push((fmt.clone(), who));
     }
 
@@ -56,7 +59,12 @@ pub fn study2(study1: &StudyResult) -> (StudyResult, Winners) {
     (
         StudyResult {
             id: format!("study2-{arch}"),
-            figure: if arch == "arm" { "Figure 5.3" } else { "Figure 5.4" }.to_string(),
+            figure: if arch == "arm" {
+                "Figure 5.3"
+            } else {
+                "Figure 5.4"
+            }
+            .to_string(),
             title: format!("Study 2: Best Form of Each Format — {arch}"),
             rows: study1.rows.clone(),
             series,

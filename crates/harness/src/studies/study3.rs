@@ -10,7 +10,10 @@ pub fn study3(ctx: &StudyContext, arch: &Arch, suite: &[MatrixEntry]) -> StudyRe
     let mut series: Vec<Series> = Vec::new();
     for f in spmm_core::SparseFormat::PAPER {
         for t in THREAD_COUNTS {
-            series.push(Series { label: format!("{f}/t{t}"), values: Vec::new() });
+            series.push(Series {
+                label: format!("{f}/t{t}"),
+                values: Vec::new(),
+            });
         }
     }
     for entry in suite {
@@ -23,7 +26,12 @@ pub fn study3(ctx: &StudyContext, arch: &Arch, suite: &[MatrixEntry]) -> StudyRe
     }
     StudyResult {
         id: format!("study3-{}", arch.label),
-        figure: if arch.label == "arm" { "Figure 5.5" } else { "Figure 5.6" }.to_string(),
+        figure: if arch.label == "arm" {
+            "Figure 5.5"
+        } else {
+            "Figure 5.6"
+        }
+        .to_string(),
         title: format!("Study 3: Parallelism — {}", arch.machine.name),
         rows: suite.iter().map(|m| m.name.clone()).collect(),
         series,
@@ -48,8 +56,7 @@ mod tests {
         let mut total = 0;
         for fi in 0..4 {
             for row in 0..r.rows.len() {
-                let by_t: Vec<f64> =
-                    (0..3).map(|ti| r.series[fi * 3 + ti].values[row]).collect();
+                let by_t: Vec<f64> = (0..3).map(|ti| r.series[fi * 3 + ti].values[row]).collect();
                 let best = by_t.iter().copied().fold(f64::NEG_INFINITY, f64::max);
                 if by_t[2] == best {
                     wins_32 += 1;

@@ -10,14 +10,20 @@ pub const THREAD_LIST: [usize; 8] = [2, 4, 8, 16, 32, 48, 64, 72];
 pub fn study3_1(ctx: &StudyContext, arch: &Arch, suite: &[MatrixEntry]) -> StudyResult {
     let mut series: Vec<Series> = spmm_core::SparseFormat::PAPER
         .iter()
-        .map(|f| Series { label: f.to_string(), values: Vec::new() })
+        .map(|f| Series {
+            label: f.to_string(),
+            values: Vec::new(),
+        })
         .collect();
     for entry in suite {
         for (fi, (_, data)) in super::format_all(entry, ctx.block).into_iter().enumerate() {
             let best = THREAD_LIST
                 .iter()
                 .map(|&t| {
-                    (t, model_mflops(&arch.machine, &data, entry, ctx.block, ctx.k, t))
+                    (
+                        t,
+                        model_mflops(&arch.machine, &data, entry, ctx.block, ctx.k, t),
+                    )
                 })
                 .max_by(|a, b| a.1.total_cmp(&b.1))
                 .map(|(t, _)| t)
@@ -27,7 +33,12 @@ pub fn study3_1(ctx: &StudyContext, arch: &Arch, suite: &[MatrixEntry]) -> Study
     }
     StudyResult {
         id: format!("study3.1-{}", arch.label),
-        figure: if arch.label == "arm" { "Figure 5.7" } else { "Figure 5.8" }.to_string(),
+        figure: if arch.label == "arm" {
+            "Figure 5.7"
+        } else {
+            "Figure 5.8"
+        }
+        .to_string(),
         title: format!("Study 3.1: Best Thread Count — {}", arch.machine.name),
         rows: suite.iter().map(|m| m.name.clone()).collect(),
         series,
@@ -70,7 +81,10 @@ mod tests {
 
         // Every chosen count is from the list.
         for s in arm.series.iter().chain(&x86.series) {
-            assert!(s.values.iter().all(|v| THREAD_LIST.contains(&(*v as usize))));
+            assert!(s
+                .values
+                .iter()
+                .all(|v| THREAD_LIST.contains(&(*v as usize))));
         }
     }
 

@@ -11,7 +11,10 @@ pub fn study4(ctx: &StudyContext, arch: &Arch, suite: &[MatrixEntry]) -> StudyRe
     let mut series: Vec<Series> = Vec::new();
     for f in spmm_core::SparseFormat::PAPER {
         for k in K_VALUES {
-            series.push(Series { label: format!("{f}/k{k}"), values: Vec::new() });
+            series.push(Series {
+                label: format!("{f}/k{k}"),
+                values: Vec::new(),
+            });
         }
     }
     for entry in suite {
@@ -24,7 +27,12 @@ pub fn study4(ctx: &StudyContext, arch: &Arch, suite: &[MatrixEntry]) -> StudyRe
     }
     StudyResult {
         id: format!("study4-{}", arch.label),
-        figure: if arch.label == "arm" { "Figure 5.9" } else { "Figure 5.10" }.to_string(),
+        figure: if arch.label == "arm" {
+            "Figure 5.9"
+        } else {
+            "Figure 5.10"
+        }
+        .to_string(),
         title: format!("Study 4: Setting -k — {}", arch.machine.name),
         rows: suite.iter().map(|m| m.name.clone()).collect(),
         series,
@@ -79,7 +87,12 @@ mod tests {
             let k8 = &r.series[K_VALUES.len()].values; // csr/k8
             let k128 = &r.series[K_VALUES.len() + 3].values; // csr/k128
             let improved = k8.iter().zip(k128).filter(|(a, b)| b > a).count();
-            assert!(improved * 10 >= k8.len() * 8, "{}: {improved}/{}", arch.label, k8.len());
+            assert!(
+                improved * 10 >= k8.len() * 8,
+                "{}: {improved}/{}",
+                arch.label,
+                k8.len()
+            );
         }
     }
 }

@@ -3,7 +3,9 @@
 use spmm_core::SparseFormat;
 use spmm_kernels::FormatData;
 
-use super::{model_mflops, study1::gpu_mflops, Arch, MatrixEntry, Series, StudyContext, StudyResult};
+use super::{
+    model_mflops, study1::gpu_mflops, Arch, MatrixEntry, Series, StudyContext, StudyResult,
+};
 
 /// The block sizes §5.7 sweeps.
 pub const BLOCK_SIZES: [usize; 3] = [2, 4, 16];
@@ -15,7 +17,10 @@ pub fn study5(ctx: &StudyContext, arch: &Arch, suite: &[MatrixEntry]) -> StudyRe
     let mut series: Vec<Series> = Vec::new();
     for b in BLOCK_SIZES {
         for be in backends {
-            series.push(Series { label: format!("b{b}/{be}"), values: Vec::new() });
+            series.push(Series {
+                label: format!("b{b}/{be}"),
+                values: Vec::new(),
+            });
         }
     }
 
@@ -27,8 +32,8 @@ pub fn study5(ctx: &StudyContext, arch: &Arch, suite: &[MatrixEntry]) -> StudyRe
                 .expect("BCSR always constructs");
             let serial = model_mflops(&arch.machine, &data, entry, block, ctx.k, 1);
             let omp = model_mflops(&arch.machine, &data, entry, block, ctx.k, ctx.threads);
-            let gpu = gpu_mflops(arch, entry, &data, &b_dense, ctx.k, &reference)
-                .unwrap_or(f64::NAN);
+            let gpu =
+                gpu_mflops(arch, entry, &data, &b_dense, ctx.k, &reference).unwrap_or(f64::NAN);
             series[bi * 3].values.push(serial);
             series[bi * 3 + 1].values.push(omp);
             series[bi * 3 + 2].values.push(gpu);
@@ -37,7 +42,12 @@ pub fn study5(ctx: &StudyContext, arch: &Arch, suite: &[MatrixEntry]) -> StudyRe
 
     StudyResult {
         id: format!("study5-{}", arch.label),
-        figure: if arch.label == "arm" { "Figure 5.11" } else { "Figure 5.12" }.to_string(),
+        figure: if arch.label == "arm" {
+            "Figure 5.11"
+        } else {
+            "Figure 5.12"
+        }
+        .to_string(),
         title: format!("Study 5: BCSR — {}", arch.machine.name),
         rows: suite.iter().map(|m| m.name.clone()).collect(),
         series,
@@ -59,8 +69,16 @@ mod tests {
         let r = study5(&ctx, &Arch::arm(), &suite);
         let b2_serial = &r.series[0].values;
         let b16_serial = &r.series[6].values;
-        let worse = b2_serial.iter().zip(b16_serial).filter(|(a, b)| b < a).count();
-        assert!(worse * 10 >= b2_serial.len() * 8, "{worse}/{}", b2_serial.len());
+        let worse = b2_serial
+            .iter()
+            .zip(b16_serial)
+            .filter(|(a, b)| b < a)
+            .count();
+        assert!(
+            worse * 10 >= b2_serial.len() * 8,
+            "{worse}/{}",
+            b2_serial.len()
+        );
     }
 
     #[test]
@@ -71,7 +89,11 @@ mod tests {
         let b2_omp = &r.series[1].values;
         let b16_omp = &r.series[7].values;
         let smaller_wins = b2_omp.iter().zip(b16_omp).filter(|(a, b)| a >= b).count();
-        assert!(smaller_wins * 2 >= b2_omp.len(), "{smaller_wins}/{}", b2_omp.len());
+        assert!(
+            smaller_wins * 2 >= b2_omp.len(),
+            "{smaller_wins}/{}",
+            b2_omp.len()
+        );
     }
 
     #[test]

@@ -11,7 +11,10 @@ pub fn study6_formats(ctx: &StudyContext, suite: &[MatrixEntry]) -> StudyResult 
     let mut series: Vec<Series> = Vec::new();
     for f in SparseFormat::PAPER {
         for a in &arches {
-            series.push(Series { label: format!("{f}/{}", a.label), values: Vec::new() });
+            series.push(Series {
+                label: format!("{f}/{}", a.label),
+                values: Vec::new(),
+            });
         }
     }
     for entry in suite {
@@ -39,7 +42,10 @@ pub fn study6_bcsr(ctx: &StudyContext, suite: &[MatrixEntry]) -> StudyResult {
     let mut series: Vec<Series> = Vec::new();
     for b in blocks {
         for a in &arches {
-            series.push(Series { label: format!("bcsr{b}/{}", a.label), values: Vec::new() });
+            series.push(Series {
+                label: format!("bcsr{b}/{}", a.label),
+                values: Vec::new(),
+            });
         }
     }
     for entry in suite {

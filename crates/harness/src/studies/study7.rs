@@ -80,14 +80,31 @@ pub fn study7(ctx: &StudyContext, arch: &Arch) -> StudyResult {
 
     StudyResult {
         id: format!("study7-{}", arch.label),
-        figure: if arch.label == "arm" { "Figure 5.15" } else { "Figure 5.16" }.to_string(),
+        figure: if arch.label == "arm" {
+            "Figure 5.15"
+        } else {
+            "Figure 5.16"
+        }
+        .to_string(),
         title: format!("Study 7: cuSparse vs OpenMP GPU — {}", arch.device.name),
         rows,
         series: vec![
-            Series { label: "coo/omp-gpu".into(), values: coo_omp },
-            Series { label: "coo/cusparse".into(), values: coo_vendor },
-            Series { label: "csr/omp-gpu".into(), values: csr_omp },
-            Series { label: "csr/cusparse".into(), values: csr_vendor },
+            Series {
+                label: "coo/omp-gpu".into(),
+                values: coo_omp,
+            },
+            Series {
+                label: "coo/cusparse".into(),
+                values: coo_vendor,
+            },
+            Series {
+                label: "csr/omp-gpu".into(),
+                values: csr_omp,
+            },
+            Series {
+                label: "csr/cusparse".into(),
+                values: csr_vendor,
+            },
         ],
         unit: "MFLOPS".to_string(),
     }

@@ -21,8 +21,14 @@ pub fn study8(ctx: &StudyContext, label: &str, suite: &[MatrixEntry]) -> StudyRe
 
     let mut series: Vec<Series> = Vec::new();
     for f in spmm_core::SparseFormat::PAPER {
-        series.push(Series { label: format!("{f}/normal"), values: Vec::new() });
-        series.push(Series { label: format!("{f}/transposed"), values: Vec::new() });
+        series.push(Series {
+            label: format!("{f}/normal"),
+            values: Vec::new(),
+        });
+        series.push(Series {
+            label: format!("{f}/transposed"),
+            values: Vec::new(),
+        });
     }
 
     for entry in suite {
@@ -36,7 +42,11 @@ pub fn study8(ctx: &StudyContext, label: &str, suite: &[MatrixEntry]) -> StudyRe
             let t_norm = time_repeated(iterations, || {
                 data.spmm_parallel(pool, threads, Schedule::Static, &b, ctx.k, &mut c);
             });
-            assert!(spmm_core::max_rel_error(&c, &reference) < 1e-9, "{} normal", entry.name);
+            assert!(
+                spmm_core::max_rel_error(&c, &reference) < 1e-9,
+                "{} normal",
+                entry.name
+            );
             series[fi * 2]
                 .values
                 .push(useful as f64 / t_norm.avg.as_secs_f64() / 1e6);
@@ -60,7 +70,12 @@ pub fn study8(ctx: &StudyContext, label: &str, suite: &[MatrixEntry]) -> StudyRe
 
     StudyResult {
         id: format!("study8-{label}"),
-        figure: if label == "arm" { "Figure 5.17" } else { "Figure 5.18" }.to_string(),
+        figure: if label == "arm" {
+            "Figure 5.17"
+        } else {
+            "Figure 5.18"
+        }
+        .to_string(),
         title: format!("Study 8: Transpose (host-measured, parallel, {label})"),
         rows: suite.iter().map(|m| m.name.clone()).collect(),
         series,
@@ -99,7 +114,11 @@ mod tests {
         assert_eq!(r.series.len(), 8);
         for s in &r.series {
             assert_eq!(s.values.len(), suite.len());
-            assert!(s.values.iter().all(|v| v.is_finite() && *v > 0.0), "{}", s.label);
+            assert!(
+                s.values.iter().all(|v| v.is_finite() && *v > 0.0),
+                "{}",
+                s.label
+            );
         }
     }
 

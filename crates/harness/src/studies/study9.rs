@@ -25,13 +25,25 @@ pub fn study9(ctx: &StudyContext, suite: &[MatrixEntry]) -> StudyResult {
 
     let mut series: Vec<Series> = Vec::new();
     for f in spmm_core::SparseFormat::PAPER {
-        series.push(Series { label: format!("{f}/serial"), values: Vec::new() });
-        series.push(Series { label: format!("{f}/serial-opt"), values: Vec::new() });
+        series.push(Series {
+            label: format!("{f}/serial"),
+            values: Vec::new(),
+        });
+        series.push(Series {
+            label: format!("{f}/serial-opt"),
+            values: Vec::new(),
+        });
     }
     // Parallel const-K exists for CSR and ELL.
     for f in ["csr", "ell"] {
-        series.push(Series { label: format!("{f}/omp"), values: Vec::new() });
-        series.push(Series { label: format!("{f}/omp-opt"), values: Vec::new() });
+        series.push(Series {
+            label: format!("{f}/omp"),
+            values: Vec::new(),
+        });
+        series.push(Series {
+            label: format!("{f}/omp-opt"),
+            values: Vec::new(),
+        });
     }
 
     for entry in suite {
@@ -44,14 +56,18 @@ pub fn study9(ctx: &StudyContext, suite: &[MatrixEntry]) -> StudyResult {
         for (fi, (_, data)) in formatted.iter().enumerate() {
             let t = time_repeated(iterations, || data.spmm_serial(&b, ctx.k, &mut c));
             assert!(spmm_core::max_rel_error(&c, &reference) < 1e-9);
-            series[fi * 2].values.push(useful / t.avg.as_secs_f64() / 1e6);
+            series[fi * 2]
+                .values
+                .push(useful / t.avg.as_secs_f64() / 1e6);
 
             assert!(data.spmm_serial_fixed_k(&b, ctx.k, &mut c));
             let t = time_repeated(iterations, || {
                 data.spmm_serial_fixed_k(&b, ctx.k, &mut c);
             });
             assert!(spmm_core::max_rel_error(&c, &reference) < 1e-9);
-            series[fi * 2 + 1].values.push(useful / t.avg.as_secs_f64() / 1e6);
+            series[fi * 2 + 1]
+                .values
+                .push(useful / t.avg.as_secs_f64() / 1e6);
         }
 
         // csr is PAPER[1], ell is PAPER[2].
@@ -67,7 +83,9 @@ pub fn study9(ctx: &StudyContext, suite: &[MatrixEntry]) -> StudyResult {
                 data.spmm_parallel_fixed_k(pool, threads, Schedule::Static, &b, ctx.k, &mut c);
             });
             assert!(spmm_core::max_rel_error(&c, &reference) < 1e-9);
-            series[si + 1].values.push(useful / t.avg.as_secs_f64() / 1e6);
+            series[si + 1]
+                .values
+                .push(useful / t.avg.as_secs_f64() / 1e6);
         }
     }
 
@@ -127,7 +145,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "no const instantiation")]
     fn unsupported_k_is_rejected() {
-        let ctx = StudyContext { k: 7, ..StudyContext::quick() };
+        let ctx = StudyContext {
+            k: 7,
+            ..StudyContext::quick()
+        };
         let suite: Vec<_> = load_suite(&ctx).into_iter().take(1).collect();
         study9(&ctx, &suite);
     }

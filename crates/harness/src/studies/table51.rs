@@ -96,7 +96,10 @@ mod tests {
     fn table_has_all_matrices_with_paper_columns() {
         // At extreme down-scales torso1's heavy rows are clamped by the
         // matrix width; 1% scale is enough to preserve the ratio ordering.
-        let suite = load_suite(&StudyContext { scale: 0.01, ..StudyContext::quick() });
+        let suite = load_suite(&StudyContext {
+            scale: 0.01,
+            ..StudyContext::quick()
+        });
         let rows = table51(&suite);
         assert_eq!(rows.len(), 14);
         assert!(rows.iter().all(|r| r.paper.is_some()));

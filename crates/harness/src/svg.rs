@@ -15,7 +15,9 @@ const PALETTE: [&str; 12] = [
 ];
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Render a [`StudyResult`] as a standalone SVG document.
@@ -142,8 +144,14 @@ mod tests {
             title: "Test".into(),
             rows: vec!["m1".into(), "m2 <&>".into()],
             series: vec![
-                Series { label: "csr/omp".into(), values: vec![10.0, 30.0] },
-                Series { label: "coo/gpu".into(), values: vec![20.0, f64::NAN] },
+                Series {
+                    label: "csr/omp".into(),
+                    values: vec![10.0, 30.0],
+                },
+                Series {
+                    label: "coo/gpu".into(),
+                    values: vec![20.0, f64::NAN],
+                },
             ],
             unit: "MFLOPS".into(),
         }
@@ -156,7 +164,10 @@ mod tests {
         assert!(svg.ends_with("</svg>"));
         assert_eq!(svg.matches("<svg").count(), 1);
         // One bar per finite value.
-        assert_eq!(svg.matches("<rect").count() - 1 /* background */ - 2 /* legend */, 3);
+        assert_eq!(
+            svg.matches("<rect").count() - 1 /* background */ - 2, /* legend */
+            3
+        );
         // Missing value marked.
         assert!(svg.contains(r##"fill="#c00""##));
         // Labels escaped.

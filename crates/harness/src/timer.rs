@@ -37,7 +37,13 @@ pub fn time_repeated(iterations: usize, mut f: impl FnMut()) -> Timings {
         max = max.max(d);
         total += d;
     }
-    Timings { iterations, avg: total / iterations as u32, min, max, total }
+    Timings {
+        iterations,
+        avg: total / iterations as u32,
+        min,
+        max,
+        total,
+    }
 }
 
 /// FLOPS from a useful-operation count and a duration.

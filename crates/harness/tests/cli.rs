@@ -12,10 +12,24 @@ fn spmm_bench(args: &[&str]) -> std::process::Output {
 #[test]
 fn single_kernel_run_reports_and_verifies() {
     let out = spmm_bench(&[
-        "-m", "bcsstk13", "-f", "csr", "--backend", "serial", "-k", "16", "-n", "1",
-        "--scale", "0.2",
+        "-m",
+        "bcsstk13",
+        "-f",
+        "csr",
+        "--backend",
+        "serial",
+        "-k",
+        "16",
+        "-n",
+        "1",
+        "--scale",
+        "0.2",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("MFLOPS"), "{text}");
     assert!(text.contains("verify:      PASSED"), "{text}");
@@ -38,10 +52,24 @@ fn csv_output_is_machine_readable() {
 #[test]
 fn gpu_backend_runs_simulated() {
     let out = spmm_bench(&[
-        "-m", "af23560", "-f", "csr", "--backend", "gpu-h100", "-k", "16", "-n", "1",
-        "--scale", "0.05",
+        "-m",
+        "af23560",
+        "-f",
+        "csr",
+        "--backend",
+        "gpu-h100",
+        "-k",
+        "16",
+        "-n",
+        "1",
+        "--scale",
+        "0.05",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("simulated device time"), "{text}");
 }
@@ -49,10 +77,26 @@ fn gpu_backend_runs_simulated() {
 #[test]
 fn thread_list_reports_best_count() {
     let out = spmm_bench(&[
-        "-m", "bcsstk13", "-f", "csr", "--backend", "parallel", "--thread-list", "1,2,4",
-        "-k", "8", "-n", "1", "--scale", "0.2",
+        "-m",
+        "bcsstk13",
+        "-f",
+        "csr",
+        "--backend",
+        "parallel",
+        "--thread-list",
+        "1,2,4",
+        "-k",
+        "8",
+        "-n",
+        "1",
+        "--scale",
+        "0.2",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("best thread count:"), "{text}");
 }
@@ -73,7 +117,11 @@ fn spmv_op_via_cli() {
     let out = spmm_bench(&[
         "-m", "dw4096", "-f", "csr", "--op", "spmv", "--scale", "0.1", "-n", "1",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("verify:      PASSED"));
 }
 
@@ -97,7 +145,14 @@ fn unknown_matrix_fails_cleanly() {
 fn unsupported_combination_fails_cleanly() {
     // BELL has no transposed kernel.
     let out = spmm_bench(&[
-        "-m", "dw4096", "-f", "bell", "--variant", "transposed", "--scale", "0.05",
+        "-m",
+        "dw4096",
+        "-f",
+        "bell",
+        "--variant",
+        "transposed",
+        "--scale",
+        "0.05",
     ]);
     assert!(!out.status.success());
 }
@@ -110,7 +165,11 @@ fn run_studies_quick_writes_all_outputs() {
         .arg(&dir)
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // Every study artifact exists.
     for name in [

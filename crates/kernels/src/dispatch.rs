@@ -7,10 +7,12 @@
 
 use spmm_core::{
     BcsrMatrix, BellMatrix, CooMatrix, Csr5Matrix, CsrMatrix, DenseMatrix, EllMatrix, HybMatrix,
-    Index, MemoryFootprint, Scalar, SellMatrix, SparseError, SparseFormat, SparseMatrix,
+    Index, MemoryFootprint, PackedPanels, Scalar, SellMatrix, SparseError, SparseFormat,
+    SparseMatrix,
 };
 use spmm_parallel::{Schedule, ThreadPool};
 
+use crate::tiled::{self, TileConfig};
 use crate::{extended, optimized, parallel, serial, spmv, transpose};
 
 /// Default SELL-C-σ slice height used by [`FormatData::from_coo`].
@@ -233,7 +235,12 @@ impl<T: Scalar, I: Index> FormatData<T, I> {
 
     /// Serial const-`K` SpMM (Study 9). Returns `false` if this format has
     /// no specialized kernel or `k` has no instantiation.
-    pub fn spmm_serial_fixed_k(&self, b: &DenseMatrix<T>, k: usize, c: &mut DenseMatrix<T>) -> bool {
+    pub fn spmm_serial_fixed_k(
+        &self,
+        b: &DenseMatrix<T>,
+        k: usize,
+        c: &mut DenseMatrix<T>,
+    ) -> bool {
         match self {
             FormatData::Coo(m) => optimized::coo_spmm_fixed_k(m, b, k, c),
             FormatData::Csr(m) => optimized::csr_spmm_fixed_k(m, b, k, c),
@@ -266,6 +273,49 @@ impl<T: Scalar, I: Index> FormatData<T, I> {
             }
             _ => false,
         }
+    }
+
+    /// Serial cache-blocked tiled SpMM against a panel-packed B (the
+    /// [`crate::tiled`] engine). Returns `false` for formats without a
+    /// tiled kernel (the same CSR/ELL/BCSR set the paper optimizes).
+    pub fn spmm_serial_tiled(
+        &self,
+        packed: &PackedPanels<T>,
+        cfg: TileConfig,
+        c: &mut DenseMatrix<T>,
+    ) -> bool {
+        match self {
+            FormatData::Csr(m) => tiled::csr_spmm_tiled(m, packed, cfg, c),
+            FormatData::Ell(m) => tiled::ell_spmm_tiled(m, packed, cfg, c),
+            FormatData::Bcsr(m) => tiled::bcsr_spmm_tiled(m, packed, cfg, c),
+            _ => return false,
+        }
+        true
+    }
+
+    /// Parallel 2-D tiled SpMM: row chunks × k-panels over the pool.
+    pub fn spmm_parallel_tiled(
+        &self,
+        pool: &ThreadPool,
+        threads: usize,
+        schedule: Schedule,
+        packed: &PackedPanels<T>,
+        cfg: TileConfig,
+        c: &mut DenseMatrix<T>,
+    ) -> bool {
+        match self {
+            FormatData::Csr(m) => {
+                tiled::csr_spmm_tiled_parallel(pool, threads, schedule, m, packed, cfg, c)
+            }
+            FormatData::Ell(m) => {
+                tiled::ell_spmm_tiled_parallel(pool, threads, schedule, m, packed, cfg, c)
+            }
+            FormatData::Bcsr(m) => {
+                tiled::bcsr_spmm_tiled_parallel(pool, threads, schedule, m, packed, cfg, c)
+            }
+            _ => return false,
+        }
+        true
     }
 
     /// Serial SpMV (§6.3.4). Returns `false` for BELL/CSR5.
@@ -375,6 +425,37 @@ mod tests {
         let mut c = DenseMatrix::zeros(40, 9);
         let b9 = DenseMatrix::from_fn(25, 9, |_, _| 0.0);
         assert!(!data.spmm_serial_fixed_k(&b9, 9, &mut c));
+    }
+
+    #[test]
+    fn tiled_dispatch_covers_csr_ell_bcsr() {
+        let (coo, b) = fixture();
+        let expected = coo.spmm_reference_k(&b, 8);
+        let pool = ThreadPool::new(2);
+        let cfg = TileConfig::new(3, 4);
+        let packed = cfg.pack(&b, 8);
+        for fmt in SparseFormat::ALL {
+            let data = FormatData::from_coo(fmt, &coo, 4).unwrap();
+            let supported = matches!(
+                fmt,
+                SparseFormat::Csr | SparseFormat::Ell | SparseFormat::Bcsr
+            );
+            let mut c = DenseMatrix::zeros(40, 8);
+            assert_eq!(
+                data.spmm_serial_tiled(&packed, cfg, &mut c),
+                supported,
+                "{fmt}"
+            );
+            if supported {
+                assert!(c.max_abs_diff(&expected) < 1e-12, "{fmt} tiled serial");
+            }
+            let mut c = DenseMatrix::zeros(40, 8);
+            let ran = data.spmm_parallel_tiled(&pool, 2, Schedule::Guided(1), &packed, cfg, &mut c);
+            assert_eq!(ran, supported, "{fmt}");
+            if supported {
+                assert!(c.max_abs_diff(&expected) < 1e-12, "{fmt} tiled parallel");
+            }
+        }
     }
 
     #[test]

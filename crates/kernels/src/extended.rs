@@ -5,8 +5,8 @@
 //! their kernels follow the same contract as [`crate::serial`] and
 //! [`crate::parallel`].
 
-use spmm_core::{HybMatrix, Index, Scalar, SellMatrix};
 use spmm_core::{CooMatrix, DenseMatrix};
+use spmm_core::{HybMatrix, Index, Scalar, SellMatrix};
 use spmm_parallel::{Schedule, ThreadPool};
 
 use crate::check_spmm_shapes;
@@ -150,7 +150,12 @@ fn accumulate_coo_parallel<T: Scalar, I: Index>(
             let r = rows_of[e].as_usize();
             // SAFETY: row-aligned boundaries keep rows thread-exclusive.
             let c_row = unsafe { c_slice.slice_mut(r * k_cols, k_cols) };
-            axpy(c_row, tail.values()[e], b.row(tail.col_indices()[e].as_usize()), k);
+            axpy(
+                c_row,
+                tail.values()[e],
+                b.row(tail.col_indices()[e].as_usize()),
+                k,
+            );
         }
     });
 }

@@ -36,6 +36,7 @@ pub mod optimized;
 pub mod parallel;
 pub mod serial;
 pub mod spmv;
+pub mod tiled;
 pub mod transpose;
 mod util;
 
@@ -52,9 +53,19 @@ pub(crate) fn check_spmm_shapes<T: Scalar>(
     k: usize,
     c: &DenseMatrix<T>,
 ) {
-    assert_eq!(a_cols, b.rows(), "A has {a_cols} cols but B has {} rows", b.rows());
+    assert_eq!(
+        a_cols,
+        b.rows(),
+        "A has {a_cols} cols but B has {} rows",
+        b.rows()
+    );
     assert!(k <= b.cols(), "k = {k} exceeds B's {} columns", b.cols());
-    assert_eq!(c.rows(), a_rows, "C has {} rows but A has {a_rows}", c.rows());
+    assert_eq!(
+        c.rows(),
+        a_rows,
+        "C has {} rows but A has {a_rows}",
+        c.rows()
+    );
     assert_eq!(c.cols(), k, "C has {} cols but k = {k}", c.cols());
 }
 

@@ -9,9 +9,7 @@
 //! instantiation at run time (falling back to the runtime-`k` kernels for
 //! other values, as the C++ suite would fall back to the generic template).
 
-use spmm_core::{
-    BcsrMatrix, CooMatrix, CsrMatrix, DenseMatrix, EllMatrix, Index, Scalar,
-};
+use spmm_core::{BcsrMatrix, CooMatrix, CsrMatrix, DenseMatrix, EllMatrix, Index, Scalar};
 use spmm_parallel::{Schedule, ThreadPool};
 
 use crate::check_spmm_shapes;
@@ -22,8 +20,9 @@ use crate::util::DisjointSlice;
 pub const SUPPORTED_K: [usize; 7] = [8, 16, 32, 64, 128, 256, 512];
 
 /// `acc[..] += v * b_row[..K]` with the bound known at compile time.
+/// Shared with the tiled panel kernels in [`crate::tiled`].
 #[inline(always)]
-fn axpy_const<T: Scalar, const K: usize>(acc: &mut [T; K], v: T, b_row: &[T]) {
+pub(crate) fn axpy_const<T: Scalar, const K: usize>(acc: &mut [T; K], v: T, b_row: &[T]) {
     let b_row = &b_row[..K];
     for kk in 0..K {
         acc[kk] = v.mul_add(b_row[kk], acc[kk]);
@@ -180,20 +179,60 @@ pub fn ell_spmm_const_parallel<T: Scalar, I: Index, const K: usize>(
     });
 }
 
+/// Map a runtime `k` onto the matching const instantiation of a kernel.
+///
+/// One macro serves every const-`K` dispatcher in this crate (the Study 9
+/// kernels here and the tiled panel kernels in [`crate::tiled`]); the
+/// supported-K list is written exactly once, in the `@go` arm, and a unit
+/// test pins it to [`SUPPORTED_K`]. Three call shapes:
+///
+/// * `dispatch_const_k!(k, kernel::<T, I>(args...))` — safe kernel with
+///   generics `<T, I, const K>`;
+/// * `dispatch_const_k!(k, unsafe kernel::<T, I>(args...))` — same, for an
+///   `unsafe fn` (the caller's enclosing SAFETY argument is forwarded);
+/// * `dispatch_const_k!(k, unsafe kernel::<T, I, {MR}>(args...))` — an
+///   `unsafe fn` with generics `<T, I, const MR, const K>` (the tiled
+///   register-blocked micro-kernels).
+///
+/// Evaluates to `true` if `k` had an instantiation (the kernel ran) and
+/// `false` otherwise (nothing touched).
 macro_rules! dispatch_const_k {
-    ($k:expr, $body:ident) => {
-        match $k {
-            8 => { $body!(8); true }
-            16 => { $body!(16); true }
-            32 => { $body!(32); true }
-            64 => { $body!(64); true }
-            128 => { $body!(128); true }
-            256 => { $body!(256); true }
-            512 => { $body!(512); true }
-            _ => false,
+    ($k:expr, $kernel:ident::<$T:ty, $I:ty>($($args:expr),* $(,)?)) => {
+        dispatch_const_k!(@go $k; (safe) $kernel::<$T, $I>($($args),*))
+    };
+    ($k:expr, unsafe $kernel:ident::<$T:ty, $I:ty>($($args:expr),* $(,)?)) => {
+        dispatch_const_k!(@go $k; (unsafe_plain) $kernel::<$T, $I>($($args),*))
+    };
+    ($k:expr, unsafe $kernel:ident::<$T:ty, $I:ty, {$MR:literal}>($($args:expr),* $(,)?)) => {
+        dispatch_const_k!(@go $k; (unsafe_mr $MR) $kernel::<$T, $I>($($args),*))
+    };
+    // The single authoritative instantiation list (== SUPPORTED_K).
+    (@go $k:expr; $($shape:tt)*) => {
+        dispatch_const_k!(@munch $k; [8 16 32 64 128 256 512]; $($shape)*)
+    };
+    (@munch $k:expr; []; $($shape:tt)*) => { false };
+    (@munch $k:expr; [$K:literal $($rest:literal)*]; $($shape:tt)*) => {
+        if $k == $K {
+            dispatch_const_k!(@call $K; $($shape)*);
+            true
+        } else {
+            dispatch_const_k!(@munch $k; [$($rest)*]; $($shape)*)
         }
     };
+    (@call $K:literal; (safe) $kernel:ident::<$T:ty, $I:ty>($($args:expr),*)) => {
+        $kernel::<$T, $I, $K>($($args),*)
+    };
+    (@call $K:literal; (unsafe_plain) $kernel:ident::<$T:ty, $I:ty>($($args:expr),*)) => {
+        // SAFETY: forwarded — the `unsafe` call shape requires the caller
+        // to discharge the kernel's safety contract at the dispatch site.
+        unsafe { $kernel::<$T, $I, $K>($($args),*) }
+    };
+    (@call $K:literal; (unsafe_mr $MR:literal) $kernel:ident::<$T:ty, $I:ty>($($args:expr),*)) => {
+        // SAFETY: forwarded, as above.
+        unsafe { $kernel::<$T, $I, $MR, $K>($($args),*) }
+    };
 }
+pub(crate) use dispatch_const_k;
 
 /// Run the const-`K` serial CSR kernel if `k` has an instantiation.
 /// Returns `false` (without touching `c`) otherwise.
@@ -203,12 +242,7 @@ pub fn csr_spmm_fixed_k<T: Scalar, I: Index>(
     k: usize,
     c: &mut DenseMatrix<T>,
 ) -> bool {
-    macro_rules! call {
-        ($K:literal) => {
-            csr_spmm_const::<T, I, $K>(a, b, c)
-        };
-    }
-    dispatch_const_k!(k, call)
+    dispatch_const_k!(k, csr_spmm_const::<T, I>(a, b, c))
 }
 
 /// Const-`K` dispatcher for the serial COO kernel.
@@ -218,12 +252,7 @@ pub fn coo_spmm_fixed_k<T: Scalar, I: Index>(
     k: usize,
     c: &mut DenseMatrix<T>,
 ) -> bool {
-    macro_rules! call {
-        ($K:literal) => {
-            coo_spmm_const::<T, I, $K>(a, b, c)
-        };
-    }
-    dispatch_const_k!(k, call)
+    dispatch_const_k!(k, coo_spmm_const::<T, I>(a, b, c))
 }
 
 /// Const-`K` dispatcher for the serial ELLPACK kernel.
@@ -233,12 +262,7 @@ pub fn ell_spmm_fixed_k<T: Scalar, I: Index>(
     k: usize,
     c: &mut DenseMatrix<T>,
 ) -> bool {
-    macro_rules! call {
-        ($K:literal) => {
-            ell_spmm_const::<T, I, $K>(a, b, c)
-        };
-    }
-    dispatch_const_k!(k, call)
+    dispatch_const_k!(k, ell_spmm_const::<T, I>(a, b, c))
 }
 
 /// Const-`K` dispatcher for the serial BCSR kernel.
@@ -248,12 +272,7 @@ pub fn bcsr_spmm_fixed_k<T: Scalar, I: Index>(
     k: usize,
     c: &mut DenseMatrix<T>,
 ) -> bool {
-    macro_rules! call {
-        ($K:literal) => {
-            bcsr_spmm_const::<T, I, $K>(a, b, c)
-        };
-    }
-    dispatch_const_k!(k, call)
+    dispatch_const_k!(k, bcsr_spmm_const::<T, I>(a, b, c))
 }
 
 /// Const-`K` dispatcher for the parallel CSR kernel.
@@ -266,12 +285,10 @@ pub fn csr_spmm_fixed_k_parallel<T: Scalar, I: Index>(
     k: usize,
     c: &mut DenseMatrix<T>,
 ) -> bool {
-    macro_rules! call {
-        ($K:literal) => {
-            csr_spmm_const_parallel::<T, I, $K>(pool, threads, schedule, a, b, c)
-        };
-    }
-    dispatch_const_k!(k, call)
+    dispatch_const_k!(
+        k,
+        csr_spmm_const_parallel::<T, I>(pool, threads, schedule, a, b, c)
+    )
 }
 
 /// Const-`K` dispatcher for the parallel ELLPACK kernel.
@@ -284,12 +301,10 @@ pub fn ell_spmm_fixed_k_parallel<T: Scalar, I: Index>(
     k: usize,
     c: &mut DenseMatrix<T>,
 ) -> bool {
-    macro_rules! call {
-        ($K:literal) => {
-            ell_spmm_const_parallel::<T, I, $K>(pool, threads, schedule, a, b, c)
-        };
-    }
-    dispatch_const_k!(k, call)
+    dispatch_const_k!(
+        k,
+        ell_spmm_const_parallel::<T, I>(pool, threads, schedule, a, b, c)
+    )
 }
 
 #[cfg(test)]
@@ -346,11 +361,23 @@ mod tests {
         let expected = coo.spmm_reference_k(&b, 32);
         let mut c = DenseMatrix::zeros(30, 32);
         assert!(csr_spmm_fixed_k_parallel(
-            &pool, 4, Schedule::Static, &csr, &b, 32, &mut c
+            &pool,
+            4,
+            Schedule::Static,
+            &csr,
+            &b,
+            32,
+            &mut c
         ));
         assert_eq!(c, expected);
         assert!(ell_spmm_fixed_k_parallel(
-            &pool, 3, Schedule::Dynamic(2), &ell, &b, 32, &mut c
+            &pool,
+            3,
+            Schedule::Dynamic(2),
+            &ell,
+            &b,
+            32,
+            &mut c
         ));
         assert_eq!(c, expected);
     }
@@ -360,9 +387,8 @@ mod tests {
         // Rows 0 and 29 populated with a long empty gap between; the
         // carried accumulator must flush correctly at both row change and
         // end of stream.
-        let coo =
-            CooMatrix::<f64>::from_triplets(30, 8, &[(0, 1, 2.0), (0, 2, 3.0), (29, 7, 4.0)])
-                .unwrap();
+        let coo = CooMatrix::<f64>::from_triplets(30, 8, &[(0, 1, 2.0), (0, 2, 3.0), (29, 7, 4.0)])
+            .unwrap();
         let b = DenseMatrix::from_fn(8, 8, |i, j| (i + j) as f64);
         let expected = coo.spmm_reference(&b);
         let mut c = DenseMatrix::zeros(30, 8);

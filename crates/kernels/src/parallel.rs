@@ -6,8 +6,7 @@
 //! per-call parameters, matching the suite's `-t` flag.
 
 use spmm_core::{
-    BcsrMatrix, BellMatrix, CooMatrix, Csr5Matrix, CsrMatrix, DenseMatrix, EllMatrix, Index,
-    Scalar,
+    BcsrMatrix, BellMatrix, CooMatrix, Csr5Matrix, CsrMatrix, DenseMatrix, EllMatrix, Index, Scalar,
 };
 use spmm_parallel::{Schedule, ThreadPool};
 
@@ -30,7 +29,10 @@ pub fn coo_spmm<T: Scalar, I: Index>(
     c: &mut DenseMatrix<T>,
 ) {
     check_spmm_shapes(a.rows(), a.cols(), b, k, c);
-    debug_assert!(a.is_sorted(), "parallel COO requires row-major sorted entries");
+    debug_assert!(
+        a.is_sorted(),
+        "parallel COO requires row-major sorted entries"
+    );
     c.clear();
     let nnz = a.nnz();
     if nnz == 0 {
@@ -383,8 +385,9 @@ mod tests {
     fn csr5_carry_rows_across_many_tiles() {
         // A single row spanning dozens of 4-entry tiles exercises the
         // carry fix-up on nearly every tile.
-        let trips: Vec<(usize, usize, f64)> =
-            (0..200).map(|e| (1usize, e % 40, 1.0 + e as f64 * 0.01)).collect();
+        let trips: Vec<(usize, usize, f64)> = (0..200)
+            .map(|e| (1usize, e % 40, 1.0 + e as f64 * 0.01))
+            .collect();
         let coo = CooMatrix::<f64>::from_triplets(3, 40, &trips).unwrap();
         let csr = CsrMatrix::from_coo(&coo);
         let csr5 = Csr5Matrix::from_csr_with_tile(&csr, 4).unwrap();

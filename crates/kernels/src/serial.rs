@@ -4,8 +4,7 @@
 //! (shape `a.rows() × k`), reading the first `k` columns of `B`.
 
 use spmm_core::{
-    BcsrMatrix, BellMatrix, CooMatrix, Csr5Matrix, CsrMatrix, DenseMatrix, EllMatrix, Index,
-    Scalar,
+    BcsrMatrix, BellMatrix, CooMatrix, Csr5Matrix, CsrMatrix, DenseMatrix, EllMatrix, Index, Scalar,
 };
 
 use crate::check_spmm_shapes;
@@ -20,12 +19,7 @@ pub fn coo_spmm<T: Scalar, I: Index>(
 ) {
     check_spmm_shapes(a.rows(), a.cols(), b, k, c);
     c.clear();
-    for ((&r, &j), &v) in a
-        .row_indices()
-        .iter()
-        .zip(a.col_indices())
-        .zip(a.values())
-    {
+    for ((&r, &j), &v) in a.row_indices().iter().zip(a.col_indices()).zip(a.values()) {
         axpy(c.row_mut(r.as_usize()), v, b.row(j.as_usize()), k);
     }
 }

@@ -248,9 +248,23 @@ mod tests {
             let mut y = vec![9.0; 7];
             coo_spmv_parallel(&pool, t, &coo, &x, &mut y);
             assert_eq!(y, expected, "coo t={t}");
-            csr_spmv_parallel(&pool, t, Schedule::Static, &CsrMatrix::from_coo(&coo), &x, &mut y);
+            csr_spmv_parallel(
+                &pool,
+                t,
+                Schedule::Static,
+                &CsrMatrix::from_coo(&coo),
+                &x,
+                &mut y,
+            );
             assert_eq!(y, expected, "csr t={t}");
-            ell_spmv_parallel(&pool, t, Schedule::Dynamic(1), &EllMatrix::from_coo(&coo), &x, &mut y);
+            ell_spmv_parallel(
+                &pool,
+                t,
+                Schedule::Dynamic(1),
+                &EllMatrix::from_coo(&coo),
+                &x,
+                &mut y,
+            );
             assert_eq!(y, expected, "ell t={t}");
             bcsr_spmv_parallel(
                 &pool,

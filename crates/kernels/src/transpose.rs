@@ -10,9 +10,7 @@
 //! Use [`spmm_core::DenseMatrix::transposed`] to produce `bt`; the suite
 //! charges that transpose to the variant's formatting time.
 
-use spmm_core::{
-    BcsrMatrix, CooMatrix, CsrMatrix, DenseMatrix, EllMatrix, Index, Scalar,
-};
+use spmm_core::{BcsrMatrix, CooMatrix, CsrMatrix, DenseMatrix, EllMatrix, Index, Scalar};
 use spmm_parallel::{Schedule, ThreadPool};
 
 use crate::util::DisjointSlice;
@@ -26,9 +24,19 @@ fn check_bt_shapes<T: Scalar>(
     k: usize,
     c: &DenseMatrix<T>,
 ) {
-    assert_eq!(a_cols, bt.cols(), "A has {a_cols} cols but Bt has {} cols", bt.cols());
+    assert_eq!(
+        a_cols,
+        bt.cols(),
+        "A has {a_cols} cols but Bt has {} cols",
+        bt.cols()
+    );
     assert!(k <= bt.rows(), "k = {k} exceeds Bt's {} rows", bt.rows());
-    assert_eq!(c.rows(), a_rows, "C has {} rows but A has {a_rows}", c.rows());
+    assert_eq!(
+        c.rows(),
+        a_rows,
+        "C has {} rows but A has {a_rows}",
+        c.rows()
+    );
     assert_eq!(c.cols(), k, "C has {} cols but k = {k}", c.cols());
 }
 

@@ -19,7 +19,11 @@ unsafe impl<T: Send> Sync for DisjointSlice<'_, T> {}
 
 impl<'a, T> DisjointSlice<'a, T> {
     pub(crate) fn new(slice: &'a mut [T]) -> Self {
-        DisjointSlice { ptr: slice.as_mut_ptr(), len: slice.len(), _marker: PhantomData }
+        DisjointSlice {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
     }
 
     /// A mutable view of `start..start + len`.

@@ -3,6 +3,7 @@
 
 use proptest::prelude::*;
 use spmm_core::{max_rel_error, CooMatrix, DenseMatrix, SparseFormat};
+use spmm_kernels::tiled::TileConfig;
 use spmm_kernels::FormatData;
 use spmm_parallel::{Schedule, ThreadPool};
 
@@ -115,6 +116,96 @@ proptest! {
             for (a, b) in y.iter().zip(&expected) {
                 prop_assert!((a - b).abs() < TOL, "{format} spmv parallel");
             }
+        }
+    }
+
+    #[test]
+    fn tiled_kernels_equal_reference(
+        coo in sparse_matrix(),
+        // Deliberately spans k values far outside SUPPORTED_K so ragged
+        // last panels and the runtime-width fallback both get exercised.
+        k in 1usize..24,
+        panel_w in 1usize..40,
+        row_block in 1usize..10,
+        threads in 1usize..9,
+        sched_idx in 0usize..3,
+    ) {
+        let schedule = [Schedule::Static, Schedule::Dynamic(1), Schedule::Guided(1)][sched_idx];
+        let b = DenseMatrix::from_fn(coo.cols(), k, |i, j| ((i * 5 + j * 3) % 13) as f64 - 6.0);
+        let expected = coo.spmm_reference_k(&b, k);
+        let cfg = TileConfig::new(panel_w, row_block);
+        let packed = cfg.pack(&b, k);
+        for format in [SparseFormat::Csr, SparseFormat::Ell, SparseFormat::Bcsr] {
+            let data = FormatData::from_coo(format, &coo, 3).expect("constructs");
+            let mut c = DenseMatrix::from_fn(coo.rows(), k, |_, _| 13.0);
+            prop_assert!(data.spmm_serial_tiled(&packed, cfg, &mut c), "{format} tiled");
+            prop_assert!(
+                max_rel_error(&c, &expected) < TOL,
+                "{format} tiled serial w={panel_w} mr={row_block} diverged"
+            );
+            let mut c = DenseMatrix::from_fn(coo.rows(), k, |_, _| -13.0);
+            prop_assert!(data.spmm_parallel_tiled(pool(), threads, schedule, &packed, cfg, &mut c));
+            prop_assert!(
+                max_rel_error(&c, &expected) < TOL,
+                "{format} tiled parallel w={panel_w} t={threads} {schedule:?} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn tiled_supported_panel_widths_equal_runtime_fallback(
+        coo in sparse_matrix(),
+        threads in 1usize..6,
+    ) {
+        // The const-width path (panel_w = 8 on k = 16) and a fallback-only
+        // shape (panel_w = 7) must agree with the flat serial kernel.
+        let k = 16;
+        let b = DenseMatrix::from_fn(coo.cols(), k, |i, j| ((i * 7 + j * 11) % 9) as f64 - 4.0);
+        let expected = coo.spmm_reference_k(&b, k);
+        let data = FormatData::from_coo(SparseFormat::Csr, &coo, 1).expect("constructs");
+        for panel_w in [7usize, 8] {
+            let cfg = TileConfig::new(panel_w, 4);
+            let packed = cfg.pack(&b, k);
+            let mut c = DenseMatrix::zeros(coo.rows(), k);
+            prop_assert!(data.spmm_serial_tiled(&packed, cfg, &mut c));
+            prop_assert!(max_rel_error(&c, &expected) < TOL, "serial w={panel_w}");
+            let mut c = DenseMatrix::zeros(coo.rows(), k);
+            prop_assert!(
+                data.spmm_parallel_tiled(pool(), threads, Schedule::Static, &packed, cfg, &mut c)
+            );
+            prop_assert!(max_rel_error(&c, &expected) < TOL, "parallel w={panel_w}");
+        }
+    }
+
+    #[test]
+    fn tiled_handles_empty_and_single_heavy_row(
+        rows in 1usize..30,
+        cols in 1usize..30,
+        k in 1usize..20,
+        panel_w in 1usize..24,
+    ) {
+        let cfg = TileConfig::new(panel_w, 4);
+        let b = DenseMatrix::from_fn(cols, k, |i, j| ((i + j * 2) % 7) as f64 - 3.0);
+        let packed = cfg.pack(&b, k);
+
+        // Empty matrix: C must come out all zero even from a dirty buffer.
+        let empty = CooMatrix::<f64>::new(rows, cols);
+        let data = FormatData::from_coo(SparseFormat::Csr, &empty, 1).expect("constructs");
+        let mut c = DenseMatrix::from_fn(rows, k, |_, _| 5.0);
+        prop_assert!(data.spmm_serial_tiled(&packed, cfg, &mut c));
+        prop_assert!(c.as_slice().iter().all(|&v| v == 0.0));
+
+        // One dense row, everything else empty: the degenerate imbalance
+        // case (a single register tile does all the work).
+        let trips: Vec<(usize, usize, f64)> =
+            (0..cols).map(|j| (rows - 1, j, j as f64 - 1.5)).collect();
+        let heavy: CooMatrix<f64> = CooMatrix::from_triplets(rows, cols, &trips).expect("in bounds");
+        let expected = heavy.spmm_reference_k(&b, k);
+        for format in [SparseFormat::Csr, SparseFormat::Ell] {
+            let data = FormatData::from_coo(format, &heavy, 1).expect("constructs");
+            let mut c = DenseMatrix::from_fn(rows, k, |_, _| -2.0);
+            prop_assert!(data.spmm_parallel_tiled(pool(), 5, Schedule::Guided(1), &packed, cfg, &mut c));
+            prop_assert!(max_rel_error(&c, &expected) < TOL, "{format} heavy-row");
         }
     }
 

@@ -53,7 +53,8 @@ pub fn banded(
         let start = i.saturating_sub(half) / align * align;
         let start = start.min(cols.saturating_sub(deg));
         for j in start..start + deg {
-            coo.push(i, j, random_value(&mut rng)).expect("generator stays in bounds");
+            coo.push(i, j, random_value(&mut rng))
+                .expect("generator stays in bounds");
         }
     }
     coo.sort_and_sum_duplicates();
@@ -139,7 +140,10 @@ pub fn uniform(rows: usize, cols: usize, nnz: usize, seed: u64) -> CooMatrix<f64
 /// SpMM with. `scale` gives `2^scale` vertices; edges are dropped
 /// recursively into quadrants with probabilities `(a, b, c, 1-a-b-c)`.
 pub fn rmat(scale: u32, edges: usize, a: f64, b: f64, c: f64, seed: u64) -> CooMatrix<f64> {
-    assert!(a >= 0.0 && b >= 0.0 && c >= 0.0 && a + b + c <= 1.0, "quadrant probabilities");
+    assert!(
+        a >= 0.0 && b >= 0.0 && c >= 0.0 && a + b + c <= 1.0,
+        "quadrant probabilities"
+    );
     let n = 1usize << scale;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut coo = CooMatrix::new(n, n);
@@ -159,7 +163,8 @@ pub fn rmat(scale: u32, edges: usize, a: f64, b: f64, c: f64, seed: u64) -> CooM
             }
             half /= 2;
         }
-        coo.push(row_lo, col_lo, random_value(&mut rng)).expect("in bounds");
+        coo.push(row_lo, col_lo, random_value(&mut rng))
+            .expect("in bounds");
     }
     coo.sort_and_sum_duplicates();
     coo
@@ -181,7 +186,11 @@ mod tests {
         let p = m.properties();
         assert!((p.avg_row_nnz - 20.0).abs() < 2.0, "avg {}", p.avg_row_nnz);
         assert!(p.max_row_nnz <= 40);
-        assert!(p.max_row_nnz >= 30, "forced max row missing: {}", p.max_row_nnz);
+        assert!(
+            p.max_row_nnz >= 30,
+            "forced max row missing: {}",
+            p.max_row_nnz
+        );
         // Banded: nonzeros stay near the diagonal.
         assert!(p.bandwidth < 100, "bandwidth {}", p.bandwidth);
     }

@@ -52,7 +52,11 @@ pub fn read_matrix_market<T: Scalar>(r: impl Read) -> Result<CooMatrix<T>, Spars
         "general" => Symmetry::General,
         "symmetric" => Symmetry::Symmetric,
         "skew-symmetric" => Symmetry::SkewSymmetric,
-        other => return Err(SparseError::Parse(format!("unsupported symmetry `{other}`"))),
+        other => {
+            return Err(SparseError::Parse(format!(
+                "unsupported symmetry `{other}`"
+            )))
+        }
     };
 
     // Skip comments; the first non-comment line is the size line.
@@ -69,10 +73,15 @@ pub fn read_matrix_market<T: Scalar>(r: impl Read) -> Result<CooMatrix<T>, Spars
     let size_line = size_line.ok_or_else(|| SparseError::Parse("missing size line".into()))?;
     let dims: Vec<usize> = size_line
         .split_whitespace()
-        .map(|t| t.parse::<usize>().map_err(|e| SparseError::Parse(format!("bad size `{t}`: {e}"))))
+        .map(|t| {
+            t.parse::<usize>()
+                .map_err(|e| SparseError::Parse(format!("bad size `{t}`: {e}")))
+        })
         .collect::<Result<_, _>>()?;
     let [rows, cols, nnz] = dims[..] else {
-        return Err(SparseError::Parse(format!("size line `{size_line}` needs 3 fields")));
+        return Err(SparseError::Parse(format!(
+            "size line `{size_line}` needs 3 fields"
+        )));
     };
 
     let mut coo = CooMatrix::new(rows, cols);
@@ -90,7 +99,9 @@ pub fn read_matrix_market<T: Scalar>(r: impl Read) -> Result<CooMatrix<T>, Spars
                 .parse()
                 .map_err(|e| SparseError::Parse(format!("bad index `{t}`: {e}")))?;
             if v == 0 {
-                return Err(SparseError::Parse("MatrixMarket indices are 1-based".into()));
+                return Err(SparseError::Parse(
+                    "MatrixMarket indices are 1-based".into(),
+                ));
             }
             Ok(v - 1)
         };
@@ -99,9 +110,9 @@ pub fn read_matrix_market<T: Scalar>(r: impl Read) -> Result<CooMatrix<T>, Spars
         let v = match field {
             Field::Pattern => T::ONE,
             Field::Real | Field::Integer => {
-                let t = it
-                    .next()
-                    .ok_or_else(|| SparseError::Parse(format!("entry `{trimmed}` missing value")))?;
+                let t = it.next().ok_or_else(|| {
+                    SparseError::Parse(format!("entry `{trimmed}` missing value"))
+                })?;
                 T::from_f64(
                     t.parse::<f64>()
                         .map_err(|e| SparseError::Parse(format!("bad value `{t}`: {e}")))?,
@@ -127,7 +138,9 @@ pub fn read_matrix_market<T: Scalar>(r: impl Read) -> Result<CooMatrix<T>, Spars
 }
 
 /// Read a MatrixMarket file from disk.
-pub fn read_matrix_market_file<T: Scalar>(path: impl AsRef<Path>) -> Result<CooMatrix<T>, SparseError> {
+pub fn read_matrix_market_file<T: Scalar>(
+    path: impl AsRef<Path>,
+) -> Result<CooMatrix<T>, SparseError> {
     read_matrix_market(std::fs::File::open(path)?)
 }
 
@@ -147,8 +160,8 @@ pub fn write_matrix_market<T: Scalar>(
 
 #[cfg(test)]
 mod tests {
-    use spmm_core::SparseMatrix as _;
     use super::*;
+    use spmm_core::SparseMatrix as _;
 
     #[test]
     fn parses_general_real() {
@@ -201,12 +214,9 @@ mod tests {
 
     #[test]
     fn roundtrip_through_writer() {
-        let orig = CooMatrix::<f64>::from_triplets(
-            4,
-            3,
-            &[(0, 0, 1.5), (1, 2, -2.25), (3, 1, 1e-3)],
-        )
-        .unwrap();
+        let orig =
+            CooMatrix::<f64>::from_triplets(4, 3, &[(0, 0, 1.5), (1, 2, -2.25), (3, 1, 1e-3)])
+                .unwrap();
         let mut buf = Vec::new();
         write_matrix_market(&orig, &mut buf).unwrap();
         let back: CooMatrix<f64> = read_matrix_market(buf.as_slice()).unwrap();

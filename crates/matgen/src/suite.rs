@@ -75,7 +75,10 @@ impl MatrixSpec {
         assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
         let rows = ((self.rows as f64 * scale) as usize).max(128);
         match self.structure {
-            Structure::Banded { std_dev, block_align } => gen::banded(
+            Structure::Banded {
+                std_dev,
+                block_align,
+            } => gen::banded(
                 rows,
                 self.avg_deg,
                 std_dev,
@@ -83,7 +86,11 @@ impl MatrixSpec {
                 block_align,
                 seed,
             ),
-            Structure::HeavyRows { std_dev, bulk_max, heavy_fraction } => {
+            Structure::HeavyRows {
+                std_dev,
+                bulk_max,
+                heavy_fraction,
+            } => {
                 // The heavy degree shrinks with the matrix so small replicas
                 // stay skewed rather than having one fully dense row.
                 let heavy_deg = self.max_deg.min((rows as f64 * 0.85) as usize).max(1);
@@ -115,112 +122,253 @@ pub fn full_suite() -> Vec<MatrixSpec> {
             rows: 101_492,
             avg_deg: 8.6,
             max_deg: 24,
-            structure: Structure::Banded { std_dev: 3.7, block_align: 1 },
-            paper: PaperProperties { nnz: 874_378, max: 24, avg: 8, ratio: 3, variance: 14, std_dev: 3 },
+            structure: Structure::Banded {
+                std_dev: 3.7,
+                block_align: 1,
+            },
+            paper: PaperProperties {
+                nnz: 874_378,
+                max: 24,
+                avg: 8,
+                ratio: 3,
+                variance: 14,
+                std_dev: 3,
+            },
         },
         MatrixSpec {
             name: "af23560",
             rows: 23_560,
             avg_deg: 20.6,
             max_deg: 21,
-            structure: Structure::Banded { std_dev: 1.0, block_align: 1 },
-            paper: PaperProperties { nnz: 484_256, max: 21, avg: 20, ratio: 1, variance: 1, std_dev: 1 },
+            structure: Structure::Banded {
+                std_dev: 1.0,
+                block_align: 1,
+            },
+            paper: PaperProperties {
+                nnz: 484_256,
+                max: 21,
+                avg: 20,
+                ratio: 1,
+                variance: 1,
+                std_dev: 1,
+            },
         },
         MatrixSpec {
             name: "bcsstk13",
             rows: 2_003,
             avg_deg: 21.4,
             max_deg: 84,
-            structure: Structure::Banded { std_dev: 14.0, block_align: 2 },
-            paper: PaperProperties { nnz: 42_943, max: 84, avg: 21, ratio: 4, variance: 197, std_dev: 14 },
+            structure: Structure::Banded {
+                std_dev: 14.0,
+                block_align: 2,
+            },
+            paper: PaperProperties {
+                nnz: 42_943,
+                max: 84,
+                avg: 21,
+                ratio: 4,
+                variance: 197,
+                std_dev: 14,
+            },
         },
         MatrixSpec {
             name: "bcsstk17",
             rows: 10_974,
             avg_deg: 20.0,
             max_deg: 108,
-            structure: Structure::Banded { std_dev: 8.9, block_align: 2 },
-            paper: PaperProperties { nnz: 219_812, max: 108, avg: 20, ratio: 5, variance: 79, std_dev: 8 },
+            structure: Structure::Banded {
+                std_dev: 8.9,
+                block_align: 2,
+            },
+            paper: PaperProperties {
+                nnz: 219_812,
+                max: 108,
+                avg: 20,
+                ratio: 5,
+                variance: 79,
+                std_dev: 8,
+            },
         },
         MatrixSpec {
             name: "cant",
             rows: 62_451,
             avg_deg: 32.6,
             max_deg: 40,
-            structure: Structure::Banded { std_dev: 7.3, block_align: 4 },
-            paper: PaperProperties { nnz: 2_034_917, max: 40, avg: 32, ratio: 1, variance: 54, std_dev: 7 },
+            structure: Structure::Banded {
+                std_dev: 7.3,
+                block_align: 4,
+            },
+            paper: PaperProperties {
+                nnz: 2_034_917,
+                max: 40,
+                avg: 32,
+                ratio: 1,
+                variance: 54,
+                std_dev: 7,
+            },
         },
         MatrixSpec {
             name: "cop20k_A",
             rows: 121_192,
             avg_deg: 11.2,
             max_deg: 24,
-            structure: Structure::Banded { std_dev: 6.7, block_align: 1 },
-            paper: PaperProperties { nnz: 1_362_087, max: 24, avg: 11, ratio: 2, variance: 45, std_dev: 6 },
+            structure: Structure::Banded {
+                std_dev: 6.7,
+                block_align: 1,
+            },
+            paper: PaperProperties {
+                nnz: 1_362_087,
+                max: 24,
+                avg: 11,
+                ratio: 2,
+                variance: 45,
+                std_dev: 6,
+            },
         },
         MatrixSpec {
             name: "crankseg_2",
             rows: 63_838,
             avg_deg: 111.3,
             max_deg: 297,
-            structure: Structure::Banded { std_dev: 48.4, block_align: 8 },
-            paper: PaperProperties { nnz: 7_106_348, max: 297, avg: 111, ratio: 2, variance: 2_339, std_dev: 48 },
+            structure: Structure::Banded {
+                std_dev: 48.4,
+                block_align: 8,
+            },
+            paper: PaperProperties {
+                nnz: 7_106_348,
+                max: 297,
+                avg: 111,
+                ratio: 2,
+                variance: 2_339,
+                std_dev: 48,
+            },
         },
         MatrixSpec {
             name: "dw4096",
             rows: 8_192,
             avg_deg: 5.1,
             max_deg: 8,
-            structure: Structure::Banded { std_dev: 0.7, block_align: 1 },
-            paper: PaperProperties { nnz: 41_746, max: 8, avg: 5, ratio: 1, variance: 0, std_dev: 0 },
+            structure: Structure::Banded {
+                std_dev: 0.7,
+                block_align: 1,
+            },
+            paper: PaperProperties {
+                nnz: 41_746,
+                max: 8,
+                avg: 5,
+                ratio: 1,
+                variance: 0,
+                std_dev: 0,
+            },
         },
         MatrixSpec {
             name: "nd24k",
             rows: 72_000,
             avg_deg: 199.9,
             max_deg: 481,
-            structure: Structure::Banded { std_dev: 81.6, block_align: 8 },
-            paper: PaperProperties { nnz: 14_393_817, max: 481, avg: 199, ratio: 2, variance: 6_652, std_dev: 81 },
+            structure: Structure::Banded {
+                std_dev: 81.6,
+                block_align: 8,
+            },
+            paper: PaperProperties {
+                nnz: 14_393_817,
+                max: 481,
+                avg: 199,
+                ratio: 2,
+                variance: 6_652,
+                std_dev: 81,
+            },
         },
         MatrixSpec {
             name: "pdb1HYS",
             rows: 36_417,
             avg_deg: 60.2,
             max_deg: 184,
-            structure: Structure::Banded { std_dev: 27.4, block_align: 4 },
-            paper: PaperProperties { nnz: 2_190_591, max: 184, avg: 60, ratio: 3, variance: 753, std_dev: 27 },
+            structure: Structure::Banded {
+                std_dev: 27.4,
+                block_align: 4,
+            },
+            paper: PaperProperties {
+                nnz: 2_190_591,
+                max: 184,
+                avg: 60,
+                ratio: 3,
+                variance: 753,
+                std_dev: 27,
+            },
         },
         MatrixSpec {
             name: "rma10",
             rows: 46_835,
             avg_deg: 50.7,
             max_deg: 145,
-            structure: Structure::Banded { std_dev: 27.8, block_align: 2 },
-            paper: PaperProperties { nnz: 2_374_001, max: 145, avg: 50, ratio: 2, variance: 772, std_dev: 27 },
+            structure: Structure::Banded {
+                std_dev: 27.8,
+                block_align: 2,
+            },
+            paper: PaperProperties {
+                nnz: 2_374_001,
+                max: 145,
+                avg: 50,
+                ratio: 2,
+                variance: 772,
+                std_dev: 27,
+            },
         },
         MatrixSpec {
             name: "shallow_water1",
             rows: 81_920,
             avg_deg: 2.5,
             max_deg: 4,
-            structure: Structure::Banded { std_dev: 0.6, block_align: 1 },
-            paper: PaperProperties { nnz: 204_800, max: 4, avg: 2, ratio: 2, variance: 0, std_dev: 0 },
+            structure: Structure::Banded {
+                std_dev: 0.6,
+                block_align: 1,
+            },
+            paper: PaperProperties {
+                nnz: 204_800,
+                max: 4,
+                avg: 2,
+                ratio: 2,
+                variance: 0,
+                std_dev: 0,
+            },
         },
         MatrixSpec {
             name: "torso1",
             rows: 116_158,
             avg_deg: 62.0,
             max_deg: 3_263,
-            structure: Structure::HeavyRows { std_dev: 25.0, bulk_max: 160, heavy_fraction: 0.004 },
-            paper: PaperProperties { nnz: 8_516_500, max: 3_263, avg: 73, ratio: 44, variance: 176_054, std_dev: 419 },
+            structure: Structure::HeavyRows {
+                std_dev: 25.0,
+                bulk_max: 160,
+                heavy_fraction: 0.004,
+            },
+            paper: PaperProperties {
+                nnz: 8_516_500,
+                max: 3_263,
+                avg: 73,
+                ratio: 44,
+                variance: 176_054,
+                std_dev: 419,
+            },
         },
         MatrixSpec {
             name: "x104",
             rows: 108_384,
             avg_deg: 47.4,
             max_deg: 204,
-            structure: Structure::Banded { std_dev: 17.7, block_align: 6 },
-            paper: PaperProperties { nnz: 5_138_004, max: 204, avg: 47, ratio: 4, variance: 313, std_dev: 17 },
+            structure: Structure::Banded {
+                std_dev: 17.7,
+                block_align: 6,
+            },
+            paper: PaperProperties {
+                nnz: 5_138_004,
+                max: 204,
+                avg: 47,
+                ratio: 4,
+                variance: 313,
+                std_dev: 17,
+            },
         },
     ]
 }
@@ -248,7 +396,10 @@ pub fn cusparse_subset() -> Vec<MatrixSpec> {
         "pdb1HYS",
         "rma10",
     ];
-    full_suite().into_iter().filter(|s| KEEP.contains(&s.name)).collect()
+    full_suite()
+        .into_iter()
+        .filter(|s| KEEP.contains(&s.name))
+        .collect()
 }
 
 /// Device bytes a full-scale Study 7 run needs (k unset → B and C are
@@ -288,7 +439,13 @@ mod tests {
             let m = spec.generate(0.02, 99);
             let p = m.properties();
             let avg_err = (p.avg_row_nnz - spec.avg_deg).abs() / spec.avg_deg;
-            assert!(avg_err < 0.25, "{}: avg {} vs {}", spec.name, p.avg_row_nnz, spec.avg_deg);
+            assert!(
+                avg_err < 0.25,
+                "{}: avg {} vs {}",
+                spec.name,
+                p.avg_row_nnz,
+                spec.avg_deg
+            );
             assert!(
                 p.max_row_nnz <= spec.max_deg && p.max_row_nnz as f64 >= 0.5 * spec.max_deg as f64,
                 "{}: max {} vs {}",

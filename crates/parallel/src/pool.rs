@@ -18,7 +18,10 @@ struct Latch {
 
 impl Latch {
     fn new(count: usize) -> Self {
-        Latch { remaining: Mutex::new(count), done: Condvar::new() }
+        Latch {
+            remaining: Mutex::new(count),
+            done: Condvar::new(),
+        }
     }
 
     fn count_down(&self) {
@@ -70,7 +73,11 @@ impl ThreadPool {
     /// (including the caller; `threads - 1` workers are spawned eagerly).
     pub fn new(threads: usize) -> Self {
         let (sender, receiver) = unbounded::<Arc<Job>>();
-        let pool = ThreadPool { sender, receiver, spawned: Mutex::new(0) };
+        let pool = ThreadPool {
+            sender,
+            receiver,
+            spawned: Mutex::new(0),
+        };
         pool.ensure_workers(threads.saturating_sub(1));
         pool
     }
@@ -119,8 +126,7 @@ impl ThreadPool {
         let body_ref: &(dyn Fn(usize) + Sync) = &body;
         // SAFETY: erase the lifetime; we block on the latch below, so the
         // closure reference never outlives this frame.
-        let body_static: *const (dyn Fn(usize) + Sync) =
-            unsafe { std::mem::transmute(body_ref) };
+        let body_static: *const (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(body_ref) };
         let job = Arc::new(Job {
             body: body_static,
             next_tid: AtomicUsize::new(1),
@@ -156,9 +162,10 @@ impl ThreadPool {
         });
     }
 
-    /// Parallel map-reduce: `map` runs per sub-range (yielding one partial
-    /// result per chunk); partials are combined with `+` in an unspecified
-    /// order on the calling thread.
+    /// Parallel map-reduce: `map` runs per sub-range; each participant
+    /// folds its chunks locally and deposits one partial in a pre-sized,
+    /// tid-indexed slot (no lock, no allocation per chunk), and the caller
+    /// combines the slots with `+` in tid order.
     pub fn parallel_sum<F, R>(
         &self,
         threads: usize,
@@ -170,14 +177,59 @@ impl ThreadPool {
         F: Fn(Range<usize>) -> R + Sync,
         R: Send + Default + std::ops::Add<Output = R>,
     {
-        let partials = Mutex::new(Vec::new());
-        self.parallel_for(threads, range, schedule, |chunk| {
-            let r = map(chunk);
-            partials.lock().push(r);
-        });
-        partials.into_inner().into_iter().fold(R::default(), |a, b| a + b)
+        let threads = threads.max(1).min(range.len().max(1));
+        if threads == 1 {
+            return if range.is_empty() {
+                R::default()
+            } else {
+                map(range)
+            };
+        }
+        let mut slots: Vec<Option<R>> = (0..threads).map(|_| None).collect();
+        {
+            let slot_writer = SlotWriter(slots.as_mut_ptr());
+            let source = WorkSource::new(range, threads, schedule);
+            self.broadcast(threads, |tid| {
+                let mut taken = false;
+                let mut acc: Option<R> = None;
+                while let Some(chunk) = source.next(tid, &mut taken) {
+                    let r = map(chunk);
+                    acc = Some(match acc.take() {
+                        Some(a) => a + r,
+                        None => r,
+                    });
+                }
+                // SAFETY: `broadcast` hands each of the `threads`
+                // participants a unique tid in `0..threads`, so every slot
+                // has exactly one writer, and the latch inside `broadcast`
+                // joins all writers before `slots` is read below.
+                unsafe { slot_writer.write(tid, acc) };
+            });
+        }
+        slots.into_iter().flatten().fold(R::default(), |a, b| a + b)
     }
 }
+
+/// Shares a pointer into the tid-indexed partial-result buffer of
+/// [`ThreadPool::parallel_sum`] with the broadcast participants.
+struct SlotWriter<R>(*mut Option<R>);
+
+impl<R> SlotWriter<R> {
+    /// Deposit `value` in slot `tid`.
+    ///
+    /// # Safety
+    /// `tid` must be in bounds and have no other writer for the lifetime
+    /// of the parallel region.
+    unsafe fn write(&self, tid: usize, value: Option<R>) {
+        // SAFETY: per this method's contract.
+        unsafe { self.0.add(tid).write(value) };
+    }
+}
+
+// SAFETY: participants write disjoint slots (indexed by their unique tid)
+// and the dispatcher blocks on the region's latch before reading any slot.
+unsafe impl<R: Send> Send for SlotWriter<R> {}
+unsafe impl<R: Send> Sync for SlotWriter<R> {}
 
 impl Default for ThreadPool {
     fn default() -> Self {
@@ -239,6 +291,37 @@ mod tests {
             r.map(|i| i as u64).sum::<u64>()
         });
         assert_eq!(s, 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn parallel_sum_empty_range_and_oversubscription() {
+        let pool = ThreadPool::new(2);
+        let zero = pool.parallel_sum(4, 9..9usize, Schedule::Static, |r| r.len() as u64);
+        assert_eq!(zero, 0);
+        // More threads than elements: clamps like parallel_for.
+        let s = pool.parallel_sum(64, 0..5usize, Schedule::Guided(1), |r| {
+            r.map(|i| i as u64).sum::<u64>()
+        });
+        assert_eq!(s, 10);
+    }
+
+    #[test]
+    fn parallel_sum_allocating_partials() {
+        // A non-Copy partial type exercises the slot writes and drops.
+        #[derive(Default)]
+        struct Bag(Vec<usize>);
+        impl std::ops::Add for Bag {
+            type Output = Bag;
+            fn add(mut self, mut rhs: Bag) -> Bag {
+                self.0.append(&mut rhs.0);
+                Bag(self.0)
+            }
+        }
+        let pool = ThreadPool::new(4);
+        let bag = pool.parallel_sum(4, 0..100usize, Schedule::Dynamic(3), |r| Bag(r.collect()));
+        let mut got = bag.0;
+        got.sort_unstable();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
     }
 
     #[test]

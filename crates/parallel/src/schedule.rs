@@ -40,7 +40,9 @@ impl FromStr for Schedule {
         let chunk = |arg: Option<String>, default: usize| -> Result<usize, String> {
             match arg {
                 None => Ok(default),
-                Some(a) => a.parse::<usize>().map_err(|e| format!("bad chunk `{a}`: {e}")),
+                Some(a) => a
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad chunk `{a}`: {e}")),
             }
         };
         match kind.as_str() {
@@ -64,7 +66,12 @@ pub(crate) struct WorkSource {
 impl WorkSource {
     pub(crate) fn new(range: Range<usize>, threads: usize, schedule: Schedule) -> Self {
         let start = range.start;
-        WorkSource { range, threads: threads.max(1), schedule, cursor: AtomicUsize::new(start) }
+        WorkSource {
+            range,
+            threads: threads.max(1),
+            schedule,
+            cursor: AtomicUsize::new(start),
+        }
     }
 
     /// The static chunk of thread `tid`, or `None` once consumed / empty.
@@ -187,9 +194,18 @@ mod tests {
     #[test]
     fn schedule_parses_openmp_style() {
         assert_eq!("static".parse::<Schedule>().unwrap(), Schedule::Static);
-        assert_eq!("dynamic".parse::<Schedule>().unwrap(), Schedule::Dynamic(64));
-        assert_eq!("dynamic,8".parse::<Schedule>().unwrap(), Schedule::Dynamic(8));
-        assert_eq!("guided, 16".parse::<Schedule>().unwrap(), Schedule::Guided(16));
+        assert_eq!(
+            "dynamic".parse::<Schedule>().unwrap(),
+            Schedule::Dynamic(64)
+        );
+        assert_eq!(
+            "dynamic,8".parse::<Schedule>().unwrap(),
+            Schedule::Dynamic(8)
+        );
+        assert_eq!(
+            "guided, 16".parse::<Schedule>().unwrap(),
+            Schedule::Guided(16)
+        );
         assert!("fancy".parse::<Schedule>().is_err());
         assert!("dynamic,x".parse::<Schedule>().is_err());
     }

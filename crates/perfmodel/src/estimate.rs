@@ -147,8 +147,7 @@ fn core_gflops(machine: &MachineProfile, w: &SpmmWorkload) -> f64 {
 /// FMAs are fed by the very gathers that generate the traffic, so the core
 /// stalls on them instead of hiding them.
 pub fn serial_time_s(machine: &MachineProfile, w: &SpmmWorkload) -> f64 {
-    let compute = w.executed_flops() * format_cpi_factor(w)
-        / (core_gflops(machine, w) * 1e9);
+    let compute = w.executed_flops() * format_cpi_factor(w) / (core_gflops(machine, w) * 1e9);
     let memory = traffic_bytes(machine, w) / (machine.per_core_gbps * 1e9);
     compute + memory
 }
@@ -190,8 +189,9 @@ pub fn estimate_spmm_mflops(machine: &MachineProfile, w: &SpmmWorkload, threads:
     // have more non-FLOP issue slack for the sibling thread to fill — the
     // paper's "hyperthreading favoured the blocked formats" observation.
     let phys = threads.min(machine.physical_cores) as f64;
-    let smt_threads =
-        threads.saturating_sub(machine.physical_cores).min(machine.physical_cores * machine.smt.saturating_sub(1));
+    let smt_threads = threads
+        .saturating_sub(machine.physical_cores)
+        .min(machine.physical_cores * machine.smt.saturating_sub(1));
     let smt_gain = if w.format.is_blocked() {
         machine.smt_efficiency * 1.8
     } else {
@@ -200,7 +200,8 @@ pub fn estimate_spmm_mflops(machine: &MachineProfile, w: &SpmmWorkload, threads:
     let over = threads.saturating_sub(machine.logical_cpus()) as f64;
     let effective_cores = (phys + smt_threads as f64 * smt_gain) * 0.97f64.powf(over.sqrt());
 
-    let compute_serial = w.executed_flops() * format_cpi_factor(w) / (core_gflops(machine, w) * 1e9);
+    let compute_serial =
+        w.executed_flops() * format_cpi_factor(w) / (core_gflops(machine, w) * 1e9);
     let compute = compute_serial / effective_cores * imbalance(w, threads);
 
     // Memory scaling: per-thread bandwidth until the socket saturates.
@@ -241,7 +242,10 @@ mod tests {
 
     #[test]
     fn parallel_beats_serial_on_both_machines() {
-        for machine in [MachineProfile::grace_hopper(), MachineProfile::aries_milan()] {
+        for machine in [
+            MachineProfile::grace_hopper(),
+            MachineProfile::aries_milan(),
+        ] {
             let w = workload(SparseFormat::Csr, 128);
             let serial = estimate_spmm_mflops(&machine, &w, 1);
             let parallel = estimate_spmm_mflops(&machine, &w, 32);
@@ -259,12 +263,8 @@ mod tests {
         let arm = MachineProfile::grace_hopper();
         let x86 = MachineProfile::aries_milan();
         let w = workload(SparseFormat::Csr, 128);
-        assert!(
-            estimate_spmm_mflops(&x86, &w, 1) > estimate_spmm_mflops(&arm, &w, 1)
-        );
-        assert!(
-            estimate_spmm_mflops(&arm, &w, 72) > estimate_spmm_mflops(&arm, &w, 8)
-        );
+        assert!(estimate_spmm_mflops(&x86, &w, 1) > estimate_spmm_mflops(&arm, &w, 1));
+        assert!(estimate_spmm_mflops(&arm, &w, 72) > estimate_spmm_mflops(&arm, &w, 8));
     }
 
     #[test]
@@ -286,9 +286,7 @@ mod tests {
         let csr = skewed_workload(SparseFormat::Csr);
         let coo = skewed_workload(SparseFormat::Coo);
         // COO's entry partition dodges the torso1 heavy row.
-        assert!(
-            estimate_spmm_mflops(&arm, &coo, 32) > estimate_spmm_mflops(&arm, &csr, 32)
-        );
+        assert!(estimate_spmm_mflops(&arm, &coo, 32) > estimate_spmm_mflops(&arm, &csr, 32));
     }
 
     #[test]
@@ -305,9 +303,28 @@ mod tests {
         let arm = MachineProfile::grace_hopper();
         // Same matrix, but ELL on a skewed pattern stores 10x the entries.
         let nnz = 1_000_000;
-        let clean = SpmmWorkload::new(SparseFormat::Ell, 100_000, 100_000, nnz, nnz, 10, nnz * 12, 1, 128);
-        let padded =
-            SpmmWorkload::new(SparseFormat::Ell, 100_000, 100_000, nnz, 10 * nnz, 100, 10 * nnz * 12, 1, 128);
+        let clean = SpmmWorkload::new(
+            SparseFormat::Ell,
+            100_000,
+            100_000,
+            nnz,
+            nnz,
+            10,
+            nnz * 12,
+            1,
+            128,
+        );
+        let padded = SpmmWorkload::new(
+            SparseFormat::Ell,
+            100_000,
+            100_000,
+            nnz,
+            10 * nnz,
+            100,
+            10 * nnz * 12,
+            1,
+            128,
+        );
         assert!(
             estimate_spmm_mflops(&arm, &clean, 32) > 3.0 * estimate_spmm_mflops(&arm, &padded, 32)
         );

@@ -14,6 +14,10 @@ pub struct MachineProfile {
     /// FP64 FLOPs per cycle per core an *SpMM kernel* sustains — far below
     /// the SIMD datasheet peak, because the inner loop is gather-fed.
     pub flops_per_cycle: f64,
+    /// Per-core L1 data cache capacity in bytes.
+    pub l1d_bytes: usize,
+    /// Per-core private L2 capacity in bytes.
+    pub l2_bytes: usize,
     /// Last-level cache capacity in bytes (per socket sum).
     pub llc_bytes: usize,
     /// Aggregate bandwidth in GB/s an SpMM's semi-random access stream
@@ -45,6 +49,9 @@ impl MachineProfile {
             smt: 1,
             clock_ghz: 3.1,
             flops_per_cycle: 2.0,
+            // Neoverse V2: 64 KB L1d + 1 MB private L2 per core.
+            l1d_bytes: 64 * 1024,
+            l2_bytes: 1024 * 1024,
             llc_bytes: 114 * 1024 * 1024,
             dram_gbps: 140.0,
             per_core_gbps: 20.0,
@@ -64,6 +71,9 @@ impl MachineProfile {
             smt: 2,
             clock_ghz: 3.4,
             flops_per_cycle: 3.0,
+            // Zen 3: 32 KB L1d + 512 KB private L2 per core.
+            l1d_bytes: 32 * 1024,
+            l2_bytes: 512 * 1024,
             // Milan's 256 MB of L3 is split into 32 MB per-CCX victim
             // caches; a core only sees its own CCX's slice. This is what
             // caps the x86 k sweep near 512 in Study 4 while Grace's
@@ -74,6 +84,29 @@ impl MachineProfile {
             fork_join_overhead_us: 9.0,
             smt_efficiency: 0.28,
             blocked_simd_bonus: 0.85,
+        }
+    }
+
+    /// A conservative profile of the single-core x86 container the suite's
+    /// host-measured studies actually run on (Study 10's tile-selection
+    /// input when modelling the local machine): small L1d, a large private
+    /// L2, and a modest LLC share — we assume one core of a shared socket
+    /// rather than the whole 260 MB the topology advertises.
+    pub fn container_host() -> Self {
+        MachineProfile {
+            name: "Container host (x86)",
+            physical_cores: 1,
+            smt: 1,
+            clock_ghz: 2.1,
+            flops_per_cycle: 2.0,
+            l1d_bytes: 48 * 1024,
+            l2_bytes: 2 * 1024 * 1024,
+            llc_bytes: 32 * 1024 * 1024,
+            dram_gbps: 12.0,
+            per_core_gbps: 12.0,
+            fork_join_overhead_us: 15.0,
+            smt_efficiency: 0.0,
+            blocked_simd_bonus: 1.0,
         }
     }
 
@@ -106,6 +139,18 @@ mod tests {
         // §5.1: 72 Grace cores; 48 Milan cores hyperthreaded to 96.
         assert_eq!(MachineProfile::grace_hopper().logical_cpus(), 72);
         assert_eq!(MachineProfile::aries_milan().logical_cpus(), 96);
+    }
+
+    #[test]
+    fn cache_hierarchies_are_ordered() {
+        for m in [
+            MachineProfile::grace_hopper(),
+            MachineProfile::aries_milan(),
+            MachineProfile::container_host(),
+        ] {
+            assert!(m.l1d_bytes < m.l2_bytes, "{}", m.name);
+            assert!(m.l2_bytes < m.llc_bytes, "{}", m.name);
+        }
     }
 
     #[test]

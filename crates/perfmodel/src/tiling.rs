@@ -1,0 +1,214 @@
+//! Cache-aware tile-shape selection for the tiled SpMM engine.
+//!
+//! The tiled kernels split B's `k` columns into panels; the right panel
+//! width is a pure function of the machine's cache hierarchy and the
+//! matrix's column-locality window (how many distinct B rows one sweep of
+//! the inner loop keeps revisiting — roughly the bandwidth for banded
+//! matrices, roughly `cols` for scattered/heavy-row ones). This module
+//! derives that width analytically so the harness, the format advisor
+//! and Study 10 all agree on one policy:
+//!
+//! * if the **whole** B prefix (`window × k` values) fits the per-core L1
+//!   budget, tiling buys nothing — use a single full-width panel;
+//! * otherwise cascade down the hierarchy, taking the *widest* supported
+//!   panel whose working set (`window × panel_w` values) fits L1, then
+//!   L2, then the LLC. Widest-at-a-level wins over narrower-at-the-same-
+//!   level because every extra panel is another full pass over A's
+//!   indices and values; the level itself matters because the panel is
+//!   re-read once per A nonzero, so its residency sets the kernel's
+//!   effective bandwidth (host sweeps: an L1-resident panel runs the
+//!   banded replicas ~1.5× faster than the L2-resident full prefix);
+//! * if even the LLC cannot hold the narrowest panel, fall back to the
+//!   narrowest supported width — beyond that point the format (not the
+//!   tiling) is the problem.
+//!
+//! Only half of each cache level is budgeted: the other half is left to
+//! A's index/value streams and the C rows being produced.
+
+use crate::{MachineProfile, SpmmWorkload};
+
+/// A concrete tile shape for the tiled SpMM engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileShape {
+    /// Columns of B per packed panel.
+    pub panel_w: usize,
+    /// Rows per register tile (MR).
+    pub row_block: usize,
+    /// Panels the selected width produces for the workload's `k`.
+    pub n_panels: usize,
+}
+
+/// Fraction of a cache level the panel working set may claim.
+const CACHE_BUDGET: f64 = 0.5;
+
+/// The widest width in `supported` (descending trial order) whose
+/// `window_rows × width` working set fits `cache_bytes * CACHE_BUDGET`,
+/// or the narrowest supported width if none fits. Returns `None` only for
+/// an empty `supported` list.
+pub fn panel_width_for_cache(
+    cache_bytes: usize,
+    window_rows: usize,
+    elem_bytes: usize,
+    supported: &[usize],
+) -> Option<usize> {
+    widest_fitting(cache_bytes, window_rows, elem_bytes, supported)
+        .or_else(|| supported.iter().copied().min())
+}
+
+/// The widest supported width whose working set fits the cache budget, or
+/// `None` when even the narrowest overflows it.
+fn widest_fitting(
+    cache_bytes: usize,
+    window_rows: usize,
+    elem_bytes: usize,
+    supported: &[usize],
+) -> Option<usize> {
+    let budget = (cache_bytes as f64 * CACHE_BUDGET) as usize;
+    let window = window_rows.max(1);
+    supported
+        .iter()
+        .copied()
+        .filter(|&w| window.saturating_mul(w).saturating_mul(elem_bytes) <= budget)
+        .max()
+}
+
+/// Select a panel width and register-tile height for `workload` on
+/// `machine`. `supported` is the kernel's specialized panel-width list
+/// (pass `spmm_kernels::optimized::SUPPORTED_K`); the returned width is
+/// always either `workload.k` (single panel) or a member of `supported`.
+pub fn select_tile_shape(
+    machine: &MachineProfile,
+    workload: &SpmmWorkload,
+    supported: &[usize],
+) -> TileShape {
+    let k = workload.k.max(1);
+    let elem = 8; // the suite's studies run f64
+    let window = workload.col_window.clamp(1, workload.cols.max(1));
+
+    // Everything already L1-resident: one full-width panel, tiling is
+    // pure overhead. Otherwise cascade L1 → L2 → LLC, widest fit first —
+    // each extra panel re-reads all of A, so never go narrower than the
+    // level demands.
+    let l1_budget = (machine.l1d_bytes as f64 * CACHE_BUDGET) as usize;
+    let full_set = window.saturating_mul(k).saturating_mul(elem);
+    let panel_w = if full_set <= l1_budget {
+        k
+    } else {
+        widest_fitting(machine.l1d_bytes, window, elem, supported)
+            .or_else(|| widest_fitting(machine.l2_bytes, window, elem, supported))
+            .or_else(|| widest_fitting(machine.llc_bytes, window, elem, supported))
+            .or_else(|| supported.iter().copied().min())
+            .unwrap_or(k)
+            .min(k)
+    };
+
+    // Register rows: MR > 1 keeps MR accumulator rows live at once, which
+    // only pays while the MR × panel_w tile still fits the register file
+    // (host sweeps: past ~32 f64 of accumulator, one row at a time wins).
+    // Degenerate row counts get smaller tiles.
+    let row_block = match (workload.rows, panel_w) {
+        (0..=1, _) => 1,
+        (2..=3, _) => 2,
+        (_, 0..=8) => 4,
+        _ => 1,
+    };
+
+    TileShape {
+        panel_w,
+        row_block,
+        n_panels: k.div_ceil(panel_w.max(1)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmm_core::SparseFormat;
+
+    const SUPPORTED: [usize; 7] = [8, 16, 32, 64, 128, 256, 512];
+
+    fn workload(rows: usize, cols: usize, k: usize, window: usize) -> SpmmWorkload {
+        SpmmWorkload {
+            format: SparseFormat::Csr,
+            rows,
+            cols,
+            nnz: rows * 8,
+            stored_entries: rows * 8,
+            max_row_nnz: 16,
+            format_bytes: rows * 8 * 12,
+            block: 1,
+            k,
+            col_window: window,
+        }
+    }
+
+    #[test]
+    fn small_working_set_uses_one_full_panel() {
+        // 20-row window × k=128 × 8 B = 20 KB < Grace's 32 KB L1 budget:
+        // fits, no tiling.
+        let m = MachineProfile::grace_hopper();
+        let shape = select_tile_shape(&m, &workload(10_000, 10_000, 128, 20), &SUPPORTED);
+        assert_eq!(shape.panel_w, 128);
+        assert_eq!(shape.n_panels, 1);
+        assert_eq!(shape.row_block, 1);
+    }
+
+    #[test]
+    fn l1_resident_panels_beat_the_full_prefix() {
+        // 100-row window × k=512 × 8 B = 400 KB overflows Grace's L1 but a
+        // w=32 panel (25.6 KB) fits its 32 KB budget: tile at the widest
+        // L1-resident width.
+        let m = MachineProfile::grace_hopper();
+        let shape = select_tile_shape(&m, &workload(10_000, 10_000, 512, 100), &SUPPORTED);
+        assert_eq!(shape.panel_w, 32);
+        assert_eq!(shape.n_panels, 16);
+        assert_eq!(shape.row_block, 1);
+    }
+
+    #[test]
+    fn wide_window_narrows_the_panel() {
+        // A heavy-row matrix touching ~all of a 100k-col B: the full k=512
+        // prefix is 400 MB and no width fits Milan's 256 KB L2 budget
+        // (100k × 8 × 8 = 6.4 MB), so the panel falls back to the widest
+        // LLC-resident width: 100k × w × 8 ≤ 16 MB ⇒ w ≤ 20 ⇒ 16.
+        let m = MachineProfile::aries_milan();
+        let shape = select_tile_shape(&m, &workload(100_000, 100_000, 512, 100_000), &SUPPORTED);
+        assert!(shape.panel_w < 512, "got {}", shape.panel_w);
+        assert!(SUPPORTED.contains(&shape.panel_w));
+        assert_eq!(shape.n_panels, 512usize.div_ceil(shape.panel_w));
+        assert_eq!(shape.panel_w, 16);
+    }
+
+    #[test]
+    fn banded_window_picks_an_intermediate_width() {
+        // window 2000 × w × 8 ≤ 1 MB (half the container L2) ⇒ w ≤ 65.
+        let m = MachineProfile::container_host();
+        let shape = select_tile_shape(&m, &workload(50_000, 50_000, 512, 2_000), &SUPPORTED);
+        assert_eq!(shape.panel_w, 64);
+        assert_eq!(shape.n_panels, 8);
+    }
+
+    #[test]
+    fn bigger_cache_means_wider_panels() {
+        let narrow = panel_width_for_cache(256 * 1024, 4_000, 8, &SUPPORTED).unwrap();
+        let wide = panel_width_for_cache(4 * 1024 * 1024, 4_000, 8, &SUPPORTED).unwrap();
+        assert!(wide > narrow);
+    }
+
+    #[test]
+    fn degenerate_inputs_stay_sane() {
+        let m = MachineProfile::container_host();
+        let shape = select_tile_shape(&m, &workload(1, 1, 1, 0), &SUPPORTED);
+        assert_eq!(shape.panel_w, 1);
+        assert_eq!(shape.row_block, 1);
+        assert_eq!(shape.n_panels, 1);
+        assert_eq!(panel_width_for_cache(1024, 10, 8, &[]), None);
+    }
+
+    #[test]
+    fn panel_width_never_exceeds_k() {
+        let m = MachineProfile::aries_milan();
+        let shape = select_tile_shape(&m, &workload(100_000, 100_000, 24, 100_000), &SUPPORTED);
+        assert!(shape.panel_w <= 24);
+    }
+}

@@ -13,9 +13,7 @@
 
 use std::time::Instant;
 
-use spmm_bench::core::{
-    suggested_tolerance, verify, CooMatrix, DenseMatrix, Scalar, VerifyError,
-};
+use spmm_bench::core::{suggested_tolerance, verify, CooMatrix, DenseMatrix, Scalar, VerifyError};
 use spmm_bench::harness::SpmmBenchmark;
 use spmm_bench::matgen;
 
@@ -37,7 +35,10 @@ struct DiaMatrix<T> {
 impl<T: Scalar> DiaMatrix<T> {
     fn from_coo(coo: &CooMatrix<T>) -> Self {
         let rows = coo.rows();
-        let mut offsets: Vec<isize> = coo.iter().map(|(i, j, _)| j as isize - i as isize).collect();
+        let mut offsets: Vec<isize> = coo
+            .iter()
+            .map(|(i, j, _)| j as isize - i as isize)
+            .collect();
         offsets.sort_unstable();
         offsets.dedup();
         let mut values = vec![T::ZERO; offsets.len() * rows];
@@ -46,7 +47,13 @@ impl<T: Scalar> DiaMatrix<T> {
             let d = offsets.binary_search(&off).expect("offset was collected");
             values[d * rows + i] = v;
         }
-        DiaMatrix { rows, cols: coo.cols(), offsets, values, nnz: coo.nnz() }
+        DiaMatrix {
+            rows,
+            cols: coo.cols(),
+            offsets,
+            values,
+            nnz: coo.nnz(),
+        }
     }
 
     /// SpMM: one pass per diagonal; within a diagonal both A and B advance
@@ -137,11 +144,18 @@ fn main() {
     }
     let avg = t0.elapsed() / iterations;
 
-    bench.verify().expect("DIA result matches the COO reference");
+    bench
+        .verify()
+        .expect("DIA result matches the COO reference");
 
     let dia = bench.dia.as_ref().unwrap();
-    println!("custom format: {} ({} diagonals, {} stored slots for {} nnz)",
-        bench.name(), dia.offsets.len(), dia.values.len(), dia.nnz);
+    println!(
+        "custom format: {} ({} diagonals, {} stored slots for {} nnz)",
+        bench.name(),
+        dia.offsets.len(),
+        dia.values.len(),
+        dia.nnz
+    );
     println!("format time: {:.3} ms", format_time.as_secs_f64() * 1e3);
     println!(
         "calc time:   {:.3} ms avg -> {:.0} MFLOPS",

@@ -6,6 +6,10 @@
 //! high column ratio kills ELL; very regular matrices love it; good
 //! spatial locality rewards BCSR; otherwise CSR is the safe default.
 //!
+//! Alongside the format, the advisor recommends a tile shape for the
+//! cache-blocked engine ([`spmm_bench::kernels::tiled`]): panel width from
+//! the host cache model, register rows from the matrix shape.
+//!
 //! ```text
 //! cargo run --release --example format_advisor
 //! ```
@@ -13,8 +17,10 @@
 use std::time::Instant;
 
 use spmm_bench::core::{DenseMatrix, MatrixProperties, SparseFormat};
+use spmm_bench::kernels::tiled::TileConfig;
 use spmm_bench::kernels::FormatData;
 use spmm_bench::matgen;
+use spmm_bench::perfmodel::{select_tile_shape, MachineProfile, SpmmWorkload, TileShape};
 
 /// Predict the best format for a serial SpMM from the Table 5.1 metrics.
 fn advise(p: &MatrixProperties) -> SparseFormat {
@@ -29,9 +35,41 @@ fn advise(p: &MatrixProperties) -> SparseFormat {
     SparseFormat::Csr
 }
 
+/// Recommend a tile shape for the cache-blocked engine on this host: the
+/// column-locality window comes from the structural metrics (banded
+/// matrices revisit a band about as wide as their fullest row; scattered
+/// ones touch all of B).
+fn advise_tile(props: &MatrixProperties, format: SparseFormat, k: usize) -> TileShape {
+    let window = if props.bandwidth < props.cols / 2 {
+        (2 * props.max_row_nnz).max(props.bandwidth)
+    } else {
+        props.cols
+    };
+    let workload = SpmmWorkload::new(
+        format,
+        props.rows,
+        props.cols,
+        props.nnz,
+        props.nnz,
+        props.max_row_nnz,
+        props.nnz * 12,
+        1,
+        k,
+    )
+    .with_col_window(window);
+    select_tile_shape(
+        &MachineProfile::container_host(),
+        &workload,
+        &spmm_bench::kernels::optimized::SUPPORTED_K,
+    )
+}
+
 fn main() {
     let k = 32;
-    println!("{:<16} {:>7} {:>9} | {:<9} {:<9} agreement", "matrix", "ratio", "ell-eff", "advised", "measured");
+    println!(
+        "{:<16} {:>7} {:>9} | {:<9} {:<9} {:>9} agreement",
+        "matrix", "ratio", "ell-eff", "advised", "measured", "tile"
+    );
 
     let mut agreements = 0;
     let mut total = 0;
@@ -39,6 +77,7 @@ fn main() {
         let coo = spec.generate(0.02, 11);
         let props = coo.properties();
         let advised = advise(&props);
+        let tile = advise_tile(&props, advised, k);
 
         // Measure every format serially and crown the real winner.
         let b = DenseMatrix::from_fn(coo.cols(), k, |i, j| ((i + j) % 7) as f64 - 3.0);
@@ -61,13 +100,15 @@ fn main() {
         let agree = winner == advised;
         agreements += usize::from(agree);
         total += 1;
+        let cfg = TileConfig::new(tile.panel_w, tile.row_block);
         println!(
-            "{:<16} {:>7.1} {:>9.2} | {:<9} {:<9} {}",
+            "{:<16} {:>7.1} {:>9.2} | {:<9} {:<9} {:>9} {}",
             spec.name,
             props.column_ratio,
             props.ell_efficiency,
             advised.name(),
             winner.name(),
+            format!("w{}xmr{}", cfg.panel_w, cfg.row_block),
             if agree { "yes" } else { "no" },
         );
     }

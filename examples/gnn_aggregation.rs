@@ -48,7 +48,12 @@ fn main() {
     let layers = 3;
 
     let adj = build_graph(nodes, 6, 42);
-    println!("graph: {} nodes, {} edges — {}", nodes, adj.nnz(), adj.properties());
+    println!(
+        "graph: {} nodes, {} edges — {}",
+        nodes,
+        adj.nnz(),
+        adj.properties()
+    );
 
     let csr = CsrMatrix::from_coo(&adj);
     let mut h = DenseMatrix::from_fn(nodes, features, |i, j| {
@@ -85,5 +90,8 @@ fn main() {
         parallel_t.as_secs_f64() * 1e3,
         flops as f64 / parallel_t.as_secs_f64() / 1e6,
     );
-    println!("feature row 0 after aggregation: {:?}", &h.row(0)[..4.min(features)]);
+    println!(
+        "feature row 0 after aggregation: {:?}",
+        &h.row(0)[..4.min(features)]
+    );
 }

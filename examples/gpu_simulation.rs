@@ -28,9 +28,7 @@ fn main() {
 
     for device in [DeviceProfile::h100(), DeviceProfile::a100()] {
         let mut c = DenseMatrix::zeros(coo.rows(), k);
-        let show = |kernel: &str,
-                    stats: spmm_bench::gpusim::LaunchStats,
-                    c: &DenseMatrix<f64>| {
+        let show = |kernel: &str, stats: spmm_bench::gpusim::LaunchStats, c: &DenseMatrix<f64>| {
             // Tolerance, not equality: the warp-cooperative kernels sum a
             // row's terms in a different order than the reference.
             let err = spmm_bench::core::max_rel_error(c, &reference);

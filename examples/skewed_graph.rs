@@ -42,38 +42,51 @@ fn main() {
         "{:<10} {:>14} {:>12} {:>12} {:>10}",
         "format", "stored slots", "slots/nnz", "bytes", "MFLOPS"
     );
-    let report = |name: &str, stored: usize, bytes: usize, run: &mut dyn FnMut(&mut DenseMatrix<f64>)| {
-        let mut c = DenseMatrix::zeros(graph.rows(), k);
-        run(&mut c); // warm-up + correctness
-        assert!(
-            spmm_bench::core::max_rel_error(&c, &reference) < 1e-10,
-            "{name} diverged"
-        );
-        let start = Instant::now();
-        for _ in 0..3 {
-            run(&mut c);
-        }
-        let avg = start.elapsed().as_secs_f64() / 3.0;
-        println!(
-            "{name:<10} {stored:>14} {:>12.2} {bytes:>12} {:>10.0}",
-            stored as f64 / graph.nnz() as f64,
-            useful as f64 / avg / 1e6
-        );
-    };
+    let report =
+        |name: &str, stored: usize, bytes: usize, run: &mut dyn FnMut(&mut DenseMatrix<f64>)| {
+            let mut c = DenseMatrix::zeros(graph.rows(), k);
+            run(&mut c); // warm-up + correctness
+            assert!(
+                spmm_bench::core::max_rel_error(&c, &reference) < 1e-10,
+                "{name} diverged"
+            );
+            let start = Instant::now();
+            for _ in 0..3 {
+                run(&mut c);
+            }
+            let avg = start.elapsed().as_secs_f64() / 3.0;
+            println!(
+                "{name:<10} {stored:>14} {:>12.2} {bytes:>12} {:>10.0}",
+                stored as f64 / graph.nnz() as f64,
+                useful as f64 / avg / 1e6
+            );
+        };
 
-    report("ell", ell.stored_entries(), ell.memory_footprint(), &mut |c| {
-        serial::ell_spmm(&ell, &b, k, c)
-    });
-    report("sell-8-256", sell.stored_entries(), sell.memory_footprint(), &mut |c| {
-        extended::sell_spmm(&sell, &b, k, c)
-    });
-    report("hyb", SparseMatrix::stored_entries(&hyb), hyb.memory_footprint(), &mut |c| {
-        extended::hyb_spmm(&hyb, &b, k, c)
-    });
+    report(
+        "ell",
+        ell.stored_entries(),
+        ell.memory_footprint(),
+        &mut |c| serial::ell_spmm(&ell, &b, k, c),
+    );
+    report(
+        "sell-8-256",
+        sell.stored_entries(),
+        sell.memory_footprint(),
+        &mut |c| extended::sell_spmm(&sell, &b, k, c),
+    );
+    report(
+        "hyb",
+        SparseMatrix::stored_entries(&hyb),
+        hyb.memory_footprint(),
+        &mut |c| extended::hyb_spmm(&hyb, &b, k, c),
+    );
 
     println!(
         "\nELL pads every vertex to the hub degree ({}); sorting (SELL) and",
         p.max_row_nnz
     );
-    println!("spilling (HYB, ELL width {}) keep the regular part tight.", hyb.ell().width());
+    println!(
+        "spilling (HYB, ELL width {}) keep the regular part tight.",
+        hyb.ell().width()
+    );
 }

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Wall-clock snapshot of the tiled SpMM engine vs the flat CSR kernels.
+#
+# Builds the release binary and writes BENCH_results.json at the repo root
+# with MFLOPS per kernel and the tiled-over-flat speedups for
+# k ∈ {128, 256, 512} on the banded (af23560, cant) and heavy-row (torso1)
+# replica classes. Extra flags are forwarded (e.g. --quick, --sweep,
+# --scale 0.5, --out path).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p spmm-harness --bin bench-snapshot
+exec ./target/release/bench-snapshot "$@"

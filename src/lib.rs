@@ -30,6 +30,6 @@ pub use spmm_parallel as parallel;
 pub use spmm_perfmodel as perfmodel;
 
 pub use spmm_core::{
-    BcsrMatrix, BellMatrix, CooMatrix, Csr5Matrix, CscMatrix, CsrMatrix, DenseMatrix, EllMatrix,
+    BcsrMatrix, BellMatrix, CooMatrix, CscMatrix, Csr5Matrix, CsrMatrix, DenseMatrix, EllMatrix,
     MatrixProperties, MemoryFootprint, Scalar, SparseFormat, SparseMatrix,
 };

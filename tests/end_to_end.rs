@@ -25,8 +25,7 @@ fn full_pipeline_for_every_suite_matrix() {
     // One serial CSR run per suite matrix: generation, formatting,
     // calculation, verification and reporting all succeed.
     for spec in matgen::full_suite() {
-        let mut bench =
-            SuiteBenchmark::from_params(small_params(spec.name)).expect("loads");
+        let mut bench = SuiteBenchmark::from_params(small_params(spec.name)).expect("loads");
         let report = run(&mut bench).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
         assert_eq!(report.verified, Some(true), "{}", spec.name);
         assert!(report.mflops > 0.0, "{}", spec.name);
@@ -89,7 +88,10 @@ fn matrix_market_file_drives_the_harness() {
 #[test]
 fn gpu_backends_report_simulated_time_and_match() {
     for backend in [Backend::GpuH100, Backend::GpuA100] {
-        let params = Params { backend, ..small_params("af23560") };
+        let params = Params {
+            backend,
+            ..small_params("af23560")
+        };
         let mut bench = SuiteBenchmark::from_params(params).unwrap();
         let report = run(&mut bench).unwrap();
         assert!(report.simulated);
@@ -127,8 +129,7 @@ fn narrow_types_halve_the_pipeline_footprint() {
     // still multiplies correctly.
     use spmm_bench::core::{CooMatrix, CsrMatrix, MemoryFootprint};
     let coo64 = matgen::by_name("bcsstk13").unwrap().generate(0.3, 23);
-    let trips: Vec<(usize, usize, f32)> =
-        coo64.iter().map(|(r, c, v)| (r, c, v as f32)).collect();
+    let trips: Vec<(usize, usize, f32)> = coo64.iter().map(|(r, c, v)| (r, c, v as f32)).collect();
     let coo32: CooMatrix<f32, u32> =
         CooMatrix::from_triplets(coo64.rows(), coo64.cols(), &trips).unwrap();
 

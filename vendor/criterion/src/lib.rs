@@ -33,7 +33,9 @@ pub struct Criterion {
 impl Default for Criterion {
     fn default() -> Self {
         // Small default: these benches run single-core in CI containers.
-        Criterion { default_sample_size: 10 }
+        Criterion {
+            default_sample_size: 10,
+        }
     }
 }
 
@@ -41,7 +43,12 @@ impl Criterion {
     /// Start a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let sample_size = self.default_sample_size;
-        BenchmarkGroup { _parent: self, name: name.into(), sample_size, throughput: None }
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size,
+            throughput: None,
+        }
     }
 
     /// Run a single ungrouped benchmark.
@@ -81,7 +88,13 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(&self.name, &id.to_string(), self.sample_size, self.throughput, f);
+        run_one(
+            &self.name,
+            &id.to_string(),
+            self.sample_size,
+            self.throughput,
+            f,
+        );
         self
     }
 
@@ -112,9 +125,16 @@ fn run_one<F>(group: &str, id: &str, sample_size: usize, throughput: Option<Thro
 where
     F: FnMut(&mut Bencher),
 {
-    let mut bencher = Bencher { samples: Vec::new(), sample_size };
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
     f(&mut bencher);
-    let label = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
     if bencher.samples.is_empty() {
         println!("bench {label}: no samples (Bencher::iter never called)");
         return;

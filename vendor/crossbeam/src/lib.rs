@@ -52,7 +52,12 @@ pub mod channel {
             ready: Condvar::new(),
             senders: AtomicUsize::new(1),
         });
-        (Sender { shared: shared.clone() }, Receiver { shared })
+        (
+            Sender {
+                shared: shared.clone(),
+            },
+            Receiver { shared },
+        )
     }
 
     impl<T> Sender<T> {
@@ -61,8 +66,11 @@ pub mod channel {
         /// receiver for the process lifetime, so the distinction is moot)
         /// and always succeeds.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            let mut queue =
-                self.shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut queue = self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             queue.push_back(value);
             drop(queue);
             self.shared.ready.notify_one();
@@ -73,7 +81,9 @@ pub mod channel {
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
             self.shared.senders.fetch_add(1, Ordering::AcqRel);
-            Sender { shared: self.shared.clone() }
+            Sender {
+                shared: self.shared.clone(),
+            }
         }
     }
 
@@ -88,7 +98,9 @@ pub mod channel {
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
-            Receiver { shared: self.shared.clone() }
+            Receiver {
+                shared: self.shared.clone(),
+            }
         }
     }
 
@@ -97,8 +109,11 @@ pub mod channel {
         /// least one sender is alive. Returns `None` once the channel is
         /// empty and every sender has been dropped.
         pub fn recv_opt(&self) -> Option<T> {
-            let mut queue =
-                self.shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut queue = self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             loop {
                 if let Some(v) = queue.pop_front() {
                     return Some(v);
