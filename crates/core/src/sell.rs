@@ -112,6 +112,36 @@ impl<T: Scalar, I: Index> SellMatrix<T, I> {
         Self::from_csr(&CsrMatrix::from_coo(coo), c, sigma)
     }
 
+    /// Build with the slice height matched to a SIMD lane count (Kreutzer
+    /// et al.'s rule: the SELL-C-σ win only materializes when C equals the
+    /// hardware vector width). `lanes = 0` is treated as 1. The resulting
+    /// slices are exactly the padded views [`slice_cols`](Self::slice_cols)
+    /// / [`slice_vals`](Self::slice_vals) hand to the vector kernels: one
+    /// contiguous load of `lanes` values per slot.
+    pub fn with_lane_width(
+        csr: &CsrMatrix<T, I>,
+        lanes: usize,
+        sigma: usize,
+    ) -> Result<Self, SparseError> {
+        Self::from_csr(csr, lanes.max(1), sigma)
+    }
+
+    /// The column indices of slice `s`: `width_of(s) * slice_height()`
+    /// entries, slot-major (`slot * c + lane`). Ghost lanes hold column 0.
+    #[inline(always)]
+    pub fn slice_cols(&self, s: usize) -> &[I] {
+        let (base, width) = self.slice(s);
+        &self.col_idx[base..base + width * self.c]
+    }
+
+    /// The values of slice `s`, same layout as [`slice_cols`](Self::
+    /// slice_cols); padding and ghost-lane slots hold exact zeros.
+    #[inline(always)]
+    pub fn slice_vals(&self, s: usize) -> &[T] {
+        let (base, width) = self.slice(s);
+        &self.values[base..base + width * self.c]
+    }
+
     /// Number of rows.
     #[inline(always)]
     pub fn rows(&self) -> usize {
@@ -312,6 +342,54 @@ mod tests {
         let sell = SellMatrix::from_coo(&coo, 4, 4).unwrap();
         assert_eq!(sell.nslices(), 3);
         assert_eq!(sell.to_dense(), coo.to_dense());
+    }
+
+    #[test]
+    fn lane_width_constructor_and_slice_views() {
+        let coo = skewed();
+        let csr = CsrMatrix::from_coo(&coo);
+        for lanes in [0usize, 1, 2, 4, 8] {
+            let sell = SellMatrix::with_lane_width(&csr, lanes, 8).unwrap();
+            assert_eq!(sell.slice_height(), lanes.max(1));
+            let mut total = 0usize;
+            for s in 0..sell.nslices() {
+                let cols = sell.slice_cols(s);
+                let vals = sell.slice_vals(s);
+                assert_eq!(cols.len(), sell.width_of(s) * sell.slice_height());
+                assert_eq!(vals.len(), cols.len());
+                let (base, _) = sell.slice(s);
+                assert_eq!(base, total, "slices are contiguous");
+                total += vals.len();
+                // Every view entry matches the flat arrays.
+                assert_eq!(cols, &sell.col_idx()[base..base + cols.len()]);
+                assert_eq!(vals, &sell.values()[base..base + vals.len()]);
+            }
+            assert_eq!(total, sell.padded_len());
+            assert_eq!(sell.to_dense(), coo.to_dense(), "lanes={lanes}");
+        }
+    }
+
+    #[test]
+    fn ghost_lane_slots_are_zero_with_column_zero() {
+        // 10 rows, C = 4 → 2 ghost lanes in the last slice.
+        let coo = CooMatrix::<f64>::from_triplets(
+            10,
+            10,
+            &(0..10).map(|i| (i, i, i as f64 + 1.0)).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let sell = SellMatrix::with_lane_width(&CsrMatrix::from_coo(&coo), 4, 4).unwrap();
+        let s = sell.nslices() - 1;
+        let (cols, vals) = (sell.slice_cols(s), sell.slice_vals(s));
+        let c = sell.slice_height();
+        for slot in 0..sell.width_of(s) {
+            for lane in 0..c {
+                if s * c + lane >= sell.rows() {
+                    assert_eq!(cols[slot * c + lane].as_usize(), 0);
+                    assert_eq!(vals[slot * c + lane], 0.0);
+                }
+            }
+        }
     }
 
     #[test]

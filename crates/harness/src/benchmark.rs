@@ -71,6 +71,9 @@ pub enum Variant {
     TransposedB,
     /// Const-`K` manually optimized kernel (Study 9).
     FixedK,
+    /// Runtime-dispatched SIMD micro-kernels (Study 12) — serial only;
+    /// the parallel kernels reach the same bodies through the tiled path.
+    Simd,
     /// Vendor (cuSPARSE-style) kernel — GPU backends only (Study 7).
     Vendor,
 }
@@ -82,6 +85,7 @@ impl Variant {
             Variant::Normal => "normal",
             Variant::TransposedB => "transposed",
             Variant::FixedK => "fixed-k",
+            Variant::Simd => "simd",
             Variant::Vendor => "cusparse",
         }
     }
@@ -95,6 +99,7 @@ impl FromStr for Variant {
             "normal" => Ok(Variant::Normal),
             "transposed" | "bt" => Ok(Variant::TransposedB),
             "fixed-k" | "fixedk" | "const-k" => Ok(Variant::FixedK),
+            "simd" | "vector" => Ok(Variant::Simd),
             "cusparse" | "vendor" => Ok(Variant::Vendor),
             other => Err(format!("unknown variant `{other}`")),
         }
@@ -262,21 +267,22 @@ impl SuiteBenchmark {
 impl SuiteBenchmark {
     fn spmv_calc(&mut self) -> Result<(), String> {
         let data = self.data.as_ref().ok_or("calc() before format()")?;
-        if self.params.variant != Variant::Normal {
-            return Err("SpMV supports only the normal variant".to_string());
-        }
-        let ok = match self.params.backend {
-            Backend::Serial => data.spmv_serial(&self.x, &mut self.y),
-            Backend::Parallel => data.spmv_parallel(
+        let ok = match (self.params.backend, self.params.variant) {
+            (Backend::Serial, Variant::Normal) => data.spmv_serial(&self.x, &mut self.y),
+            (Backend::Serial, Variant::Simd) => {
+                data.spmv_serial_simd_at(spmm_kernels::simd::active_level(), &self.x, &mut self.y)
+            }
+            (Backend::Parallel, Variant::Normal) => data.spmv_parallel(
                 global_pool(),
                 self.params.threads,
                 self.params.schedule,
                 &self.x,
                 &mut self.y,
             ),
-            Backend::GpuH100 | Backend::GpuA100 => {
+            (Backend::GpuH100 | Backend::GpuA100, _) => {
                 return Err("SpMV has no GPU kernels (SpMM only)".to_string())
             }
+            _ => return Err("SpMV supports only the normal and simd variants".to_string()),
         };
         if !ok {
             return Err(format!("{} has no SpMV kernel", self.params.format));
@@ -345,6 +351,10 @@ impl SpmmBenchmark for SuiteBenchmark {
             }
             (Backend::Parallel, Variant::FixedK) => {
                 data.spmm_parallel_fixed_k(pool, threads, sched, &self.b, k, &mut self.c)
+            }
+            (Backend::Serial, Variant::Simd) => data.spmm_serial_simd(&self.b, k, &mut self.c),
+            (Backend::Parallel, Variant::Simd) => {
+                return Err("the simd variant is serial-only (use the tiled path)".to_string())
             }
             (_, Variant::Vendor) => {
                 return Err("the cuSPARSE variant requires a GPU backend".to_string())
@@ -467,6 +477,10 @@ mod tests {
             (Csr, Backend::GpuH100, Variant::Vendor),
             (Bell, Backend::Serial, Variant::Normal),
             (Csr5, Backend::Parallel, Variant::Normal),
+            (Csr, Backend::Serial, Variant::Simd),
+            (Ell, Backend::Serial, Variant::Simd),
+            (Bcsr, Backend::Serial, Variant::Simd),
+            (Sell, Backend::Serial, Variant::Simd),
         ];
         for &(format, backend, variant) in combos {
             let params = Params {
@@ -515,6 +529,21 @@ mod tests {
         };
         let mut bench = SuiteBenchmark::from_params(params).unwrap();
         assert!(run(&mut bench).is_err());
+        // The simd variant is serial-only, and COO has no SIMD kernel.
+        let params = Params {
+            variant: Variant::Simd,
+            backend: Backend::Parallel,
+            ..small_params()
+        };
+        let mut bench = SuiteBenchmark::from_params(params).unwrap();
+        assert!(run(&mut bench).is_err());
+        let params = Params {
+            variant: Variant::Simd,
+            format: spmm_core::SparseFormat::Coo,
+            ..small_params()
+        };
+        let mut bench = SuiteBenchmark::from_params(params).unwrap();
+        assert!(run(&mut bench).is_err());
     }
 
     #[test]
@@ -559,6 +588,19 @@ mod tests {
         };
         let mut bench = SuiteBenchmark::from_params(params).unwrap();
         assert!(run(&mut bench).is_err());
+        // ... but the simd variant does carry a SELL SpMV kernel (lanes
+        // across the slice are its native vector axis), plus CSR.
+        for format in [spmm_core::SparseFormat::Csr, spmm_core::SparseFormat::Sell] {
+            let params = Params {
+                op: Op::Spmv,
+                variant: Variant::Simd,
+                format,
+                ..small_params()
+            };
+            let mut bench = SuiteBenchmark::from_params(params).unwrap();
+            let report = run(&mut bench).unwrap();
+            assert_eq!(report.verified, Some(true), "{format} simd spmv");
+        }
     }
 
     #[test]

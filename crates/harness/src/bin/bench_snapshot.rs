@@ -1,11 +1,14 @@
 //! `bench-snapshot`: wall-clock proof that the cache-blocked tiled engine
-//! beats the flat CSR kernels, written as machine-readable JSON.
+//! beats the flat CSR kernels — and that the runtime-dispatched SIMD
+//! micro-kernels beat their scalar twins — written as machine-readable
+//! JSON.
 //!
 //! Measures the banded (`af23560`, `cant`) and heavy-row (`torso1`)
 //! replica classes at k ∈ {128, 256, 512}: flat `csr_spmm`, the const-`K`
-//! `csr_spmm_const` variant (Study 9's winner), and the tiled engine at
-//! its cache-selected shape. Every tiled result is verified against the
-//! COO reference (max relative error < 1e-10) before it is timed; packing
+//! `csr_spmm_const` variant (Study 9's winner), the tiled engine at its
+//! cache-selected shape, and the Study 12 scalar/SIMD pairs for CSR and
+//! lane-width SELL-C-σ. Every tiled result is verified against the COO
+//! reference (max relative error < 1e-10) before it is timed; packing
 //! happens outside the timed region like Study 8's pre-transposed B.
 //!
 //! ```text
@@ -22,10 +25,12 @@
 use std::fs;
 use std::path::PathBuf;
 
-use spmm_core::{max_rel_error, DenseMatrix, SparseFormat};
+use spmm_core::{max_rel_error, CsrMatrix, DenseMatrix, SellMatrix, SparseFormat};
 use spmm_harness::json::Json;
-use spmm_harness::studies::{study11, MatrixEntry};
+use spmm_harness::studies::{study11, study12, MatrixEntry};
 use spmm_harness::timer::time_repeated;
+use spmm_kernels::dispatch::SELL_SIGMA;
+use spmm_kernels::simd::{self, SimdLevel};
 use spmm_kernels::tiled::TileConfig;
 use spmm_kernels::FormatData;
 use spmm_perfmodel::MachineProfile;
@@ -87,9 +92,12 @@ fn main() {
     }
 
     let machine = MachineProfile::container_host();
+    let hw = simd::hardware_level();
+    let lanes = study12::sell_lane_width();
     let block = 4;
     let mut rows = Vec::new();
     let mut worst: Option<(String, f64)> = None;
+    let mut worst_simd: Option<(String, f64)> = None;
 
     for name in MATRICES {
         if !only.is_empty() && !only.iter().any(|o| o == name) {
@@ -112,6 +120,8 @@ fn main() {
         };
         let data = FormatData::from_coo(SparseFormat::Csr, &entry.coo, block)
             .expect("CSR always constructs");
+        let csr = CsrMatrix::<f64>::from_coo(&entry.coo);
+        let sell = SellMatrix::with_lane_width(&csr, lanes, SELL_SIGMA).expect("SELL constructs");
 
         for k in KS {
             let b = spmm_matgen::gen::dense_b(entry.coo.cols(), k, seed ^ 0xB);
@@ -140,6 +150,10 @@ fn main() {
             let mut t_flat = std::time::Duration::MAX;
             let mut t_const = std::time::Duration::MAX;
             let mut t_tiled = std::time::Duration::MAX;
+            let mut t_csr_scalar = std::time::Duration::MAX;
+            let mut t_csr_simd = std::time::Duration::MAX;
+            let mut t_sell_scalar = std::time::Duration::MAX;
+            let mut t_sell_simd = std::time::Duration::MAX;
             for _ in 0..3 {
                 data.spmm_serial(&b, k, &mut c);
                 t_flat = t_flat.min(time_repeated(iters, || data.spmm_serial(&b, k, &mut c)).min);
@@ -160,11 +174,47 @@ fn main() {
                     })
                     .min,
                 );
+                // Study 12: the dispatched micro-kernels, scalar vs SIMD.
+                simd::csr_spmm_at(SimdLevel::Scalar, &csr, &b, k, &mut c);
+                t_csr_scalar = t_csr_scalar.min(
+                    time_repeated(iters, || {
+                        simd::csr_spmm_at(SimdLevel::Scalar, &csr, &b, k, &mut c);
+                    })
+                    .min,
+                );
+                simd::csr_spmm_at(hw, &csr, &b, k, &mut c);
+                t_csr_simd = t_csr_simd.min(
+                    time_repeated(iters, || {
+                        simd::csr_spmm_at(hw, &csr, &b, k, &mut c);
+                    })
+                    .min,
+                );
+                simd::sell_spmm_at(SimdLevel::Scalar, &sell, &b, k, &mut c);
+                t_sell_scalar = t_sell_scalar.min(
+                    time_repeated(iters, || {
+                        simd::sell_spmm_at(SimdLevel::Scalar, &sell, &b, k, &mut c);
+                    })
+                    .min,
+                );
+                simd::sell_spmm_at(hw, &sell, &b, k, &mut c);
+                t_sell_simd = t_sell_simd.min(
+                    time_repeated(iters, || {
+                        simd::sell_spmm_at(hw, &sell, &b, k, &mut c);
+                    })
+                    .min,
+                );
             }
+            // The SIMD SELL kernel ran last: verify its result (FMA
+            // contraction makes it bit-different from the reference, so
+            // the tolerance is relative, not exact).
             assert!(max_rel_error(&c, &reference) < 1e-10);
             let flat = mflops(t_flat);
             let flat_const = mflops(t_const);
             let tiled = mflops(t_tiled);
+            let csr_scalar = mflops(t_csr_scalar);
+            let csr_simd = mflops(t_csr_simd);
+            let sell_scalar = mflops(t_sell_scalar);
+            let sell_simd = mflops(t_sell_simd);
 
             if sweep {
                 // Tuning view: every supported width (and the full-width
@@ -195,12 +245,23 @@ fn main() {
             if worst.as_ref().is_none_or(|(_, w)| slower < *w) {
                 worst = Some((format!("{name} k={k}"), slower));
             }
+            let simd_csr = csr_simd / csr_scalar;
+            let simd_sell = sell_simd / sell_scalar;
+            let simd_slower = simd_csr.min(simd_sell);
+            if worst_simd.as_ref().is_none_or(|(_, w)| simd_slower < *w) {
+                worst_simd = Some((format!("{name} k={k}"), simd_slower));
+            }
             eprintln!(
                 "  {name} k={k}: flat {flat:.0} | const {flat_const:.0} | tiled {tiled:.0} MFLOPS \
                  (w{} x mr{}, {:+.1}% vs const)",
                 cfg.panel_w,
                 cfg.row_block,
                 (vs_const - 1.0) * 100.0
+            );
+            eprintln!(
+                "  {name} k={k}: csr {csr_scalar:.0}->{csr_simd:.0} ({simd_csr:.2}x) | \
+                 sell {sell_scalar:.0}->{sell_simd:.0} ({simd_sell:.2}x) [{}]",
+                hw.name()
             );
 
             rows.push(
@@ -217,19 +278,28 @@ fn main() {
                         Json::obj()
                             .with("csr_flat", flat)
                             .with("csr_flat_const", flat_const)
-                            .with("csr_tiled", tiled),
+                            .with("csr_tiled", tiled)
+                            .with("csr_scalar", csr_scalar)
+                            .with("csr_simd", csr_simd)
+                            .with("sell_scalar", sell_scalar)
+                            .with("sell_simd", sell_simd),
                     )
                     .with("speedup_tiled_vs_flat", vs_flat)
                     .with("speedup_tiled_vs_const", vs_const)
+                    .with("speedup_simd_csr", simd_csr)
+                    .with("speedup_simd_sell", simd_sell)
                     .with("max_rel_error", err),
             );
         }
     }
 
     let (worst_point, worst_speedup) = worst.expect("at least one measurement");
+    let (worst_simd_point, worst_simd_speedup) = worst_simd.expect("at least one measurement");
     let doc = Json::obj()
         .with("generated_by", "bench-snapshot")
         .with("host", machine.name)
+        .with("simd_level", hw.name())
+        .with("sell_lane_width", lanes)
         .with("scale", scale)
         .with("iterations", iters)
         .with("seed", seed)
@@ -239,12 +309,16 @@ fn main() {
             Json::obj()
                 .with("worst_point", worst_point.as_str())
                 .with("worst_tiled_speedup", worst_speedup)
-                .with("tiled_wins_everywhere", worst_speedup > 1.0),
+                .with("tiled_wins_everywhere", worst_speedup > 1.0)
+                .with("worst_simd_point", worst_simd_point.as_str())
+                .with("worst_simd_speedup", worst_simd_speedup)
+                .with("simd_wins_everywhere", worst_simd_speedup > 1.0),
         );
     fs::write(&out, doc.pretty() + "\n")
         .unwrap_or_else(|e| die(&format!("cannot write {out:?}: {e}")));
     eprintln!(
-        "wrote {out:?}; worst tiled speedup {worst_speedup:.2}x at {worst_point}",
+        "wrote {out:?}; worst tiled speedup {worst_speedup:.2}x at {worst_point}; \
+         worst simd speedup {worst_simd_speedup:.2}x at {worst_simd_point}",
         out = out
     );
 }

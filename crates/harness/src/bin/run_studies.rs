@@ -8,8 +8,8 @@ use std::fs;
 use std::path::PathBuf;
 
 use spmm_harness::studies::{
-    load_suite, study1, study10, study11, study2, study3, study3_1, study4, study5, study6, study7,
-    study8, study9, table51, Arch, StudyContext, StudyResult,
+    load_suite, study1, study10, study11, study12, study2, study3, study3_1, study4, study5,
+    study6, study7, study8, study9, table51, Arch, StudyContext, StudyResult,
 };
 
 fn main() {
@@ -139,6 +139,16 @@ fn main() {
     for (format, speedup) in study11::tiled_speedup(&s11) {
         println!("  {format}: {speedup:.2}x");
     }
+
+    // Study 12 (extension): scalar vs runtime-dispatched SIMD kernels.
+    eprintln!("measuring Study 12 (scalar vs SIMD) on the host ...");
+    let s12 = study12::study12(&ctx, &suite);
+    emit(&s12);
+    println!("Study 12 simd-over-scalar speedup (mean over matrices):");
+    for (kernel, speedup) in study12::simd_speedup_summary(&s12) {
+        println!("  {kernel}: {speedup:.2}x");
+    }
+    emit(&study12::study12_k_sweep(&ctx, &suite[0]));
 
     // Memory-footprint extra (§6.3.5): report per-format bytes at f64/usize.
     let mut footprint_csv = String::from("matrix");

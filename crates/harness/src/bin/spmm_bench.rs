@@ -35,6 +35,11 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if params.simd_scalar {
+        // Pin the runtime-dispatched micro-kernels to their portable
+        // scalar bodies (same effect as SPMM_SIMD=scalar).
+        spmm_kernels::simd::set_level_override(Some(spmm_kernels::simd::SimdLevel::Scalar));
+    }
 
     // The thesis's best-thread-count feature (Study 3.1): run the whole
     // benchmark once per listed thread count and report the winner.

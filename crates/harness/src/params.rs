@@ -35,6 +35,10 @@ pub struct Params {
     pub k: usize,
     /// Loop schedule for parallel kernels.
     pub schedule: Schedule,
+    /// Force the scalar SIMD level (`--simd scalar`), pinning the
+    /// runtime-dispatched micro-kernels to their portable bodies. The
+    /// `SPMM_SIMD=scalar` environment variable has the same effect.
+    pub simd_scalar: bool,
     /// Scale factor for generated suite matrices.
     pub scale: f64,
     /// RNG seed for generated matrices and B.
@@ -62,6 +66,7 @@ impl Default for Params {
             block: 4,
             k: 128,
             schedule: Schedule::Static,
+            simd_scalar: false,
             scale: 0.02,
             seed: 42,
             no_verify: false,
@@ -113,6 +118,13 @@ impl Params {
                 "--schedule" => {
                     p.schedule = value(arg)?.parse()?;
                 }
+                "--simd" => {
+                    p.simd_scalar = match value(arg)?.to_ascii_lowercase().as_str() {
+                        "auto" => false,
+                        "scalar" => true,
+                        other => return Err(format!("--simd takes auto|scalar (got `{other}`)")),
+                    };
+                }
                 "--scale" => {
                     p.scale = value(arg)?.parse().map_err(|e| format!("bad scale: {e}"))?;
                 }
@@ -144,14 +156,15 @@ impl Params {
            --list-matrices               print the 14-matrix suite and exit\n\
            -f, --format <coo|csr|ell|bcsr|bell|csr5>\n\
            --backend <serial|parallel|gpu-h100|gpu-a100>\n\
-           --variant <normal|transposed|fixed-k|cusparse>\n\
+           --variant <normal|transposed|fixed-k|simd|cusparse>\n\
            --op <spmm|spmv>              operation (default spmm)\n\
            -n, --iterations <N>          calc() calls to average (default 3)\n\
            -t, --threads <N>             parallel thread count (default 32)\n\
            --thread-list <a,b,c>         try each count, report the best\n\
            -b, --block <N>               BCSR/BELL block size (default 4)\n\
            -k <N>                        k-loop bound (default 128)\n\
-           --schedule <static|dynamic[,c]|guided[,c]>\n\
+           --schedule <static|dynamic[,c]|guided[,c]|auto>\n\
+           --simd <auto|scalar>          pin SIMD micro-kernels to scalar\n\
            --scale <f>                   suite matrix scale factor (default 0.02)\n\
            --seed <N>                    RNG seed (default 42)\n\
            --no-verify                   skip the COO verification pass\n\
@@ -226,6 +239,18 @@ mod tests {
     fn thread_list_parses() {
         let p = parse(&["--thread-list", "2,4, 8,16"]).unwrap();
         assert_eq!(p.thread_list, vec![2, 4, 8, 16]);
+    }
+
+    #[test]
+    fn simd_and_auto_schedule_parse() {
+        assert!(parse(&["--simd", "scalar"]).unwrap().simd_scalar);
+        assert!(!parse(&["--simd", "auto"]).unwrap().simd_scalar);
+        assert!(!parse(&[]).unwrap().simd_scalar);
+        assert!(parse(&["--simd", "avx512"]).is_err());
+        assert_eq!(
+            parse(&["--schedule", "auto"]).unwrap().schedule,
+            Schedule::Auto
+        );
     }
 
     #[test]

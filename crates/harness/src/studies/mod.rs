@@ -12,6 +12,7 @@
 pub mod study1;
 pub mod study10;
 pub mod study11;
+pub mod study12;
 pub mod study2;
 pub mod study3;
 pub mod study3_1;

@@ -1,0 +1,257 @@
+//! Study 12 (extension): the runtime-dispatched SIMD micro-kernels.
+//!
+//! The vectorization study the paper leaves implicit: every CPU number it
+//! reports comes from whatever the compiler auto-vectorized, so the gap
+//! between the portable scalar bodies and explicit ISA kernels is never
+//! measured. This study measures it on the host — the same kernel matrix
+//! run once pinned to [`SimdLevel::Scalar`] and once at the detected
+//! [`spmm_kernels::simd::hardware_level`] — per format (CSR, ELL, BCSR,
+//! SELL-C-σ) and for the two SpMV kernels the SIMD layer adds. SELL is
+//! built *lane-width-aware*: its slice height C is set to the hardware's
+//! FP64 lane count via [`SellMatrix::with_lane_width`], so one slice slot
+//! is exactly one vector register.
+//!
+//! Like Studies 8–11 this probes code generation, which is observable on
+//! any host, so both sides are wall-clock measurements.
+
+use spmm_core::{BcsrMatrix, CsrMatrix, DenseMatrix, EllMatrix, SellMatrix};
+use spmm_kernels::dispatch::SELL_SIGMA;
+use spmm_kernels::simd::{self, SimdLevel, SimdScalar};
+
+use super::{MatrixEntry, Series, StudyContext, StudyResult};
+use crate::timer::time_repeated;
+
+/// The k sweep of the vectorization study (§5.1's default plus the points
+/// where the B panel stops fitting L1).
+pub const SWEEP_KS: [usize; 5] = [32, 64, 128, 256, 512];
+
+/// SELL-C-σ slice height matched to the hardware vector width (minimum 4,
+/// so the scalar fallback level still gets a sensible slice shape).
+pub fn sell_lane_width() -> usize {
+    <f64 as SimdScalar>::lanes(simd::hardware_level()).max(4)
+}
+
+fn measured(iterations: usize, flops: f64, f: impl FnMut()) -> f64 {
+    let t = time_repeated(iterations, f);
+    flops / t.avg.as_secs_f64() / 1e6
+}
+
+/// Measured scalar-vs-SIMD MFLOPS per format and matrix at `ctx.k`.
+/// Series come in (scalar, simd) pairs so [`simd_speedup_summary`] and
+/// Study 9's `improvement_percent` pairing both apply.
+pub fn study12(ctx: &StudyContext, suite: &[MatrixEntry]) -> StudyResult {
+    let hw = simd::hardware_level();
+    let iterations = 2;
+    let lanes = sell_lane_width();
+
+    let mut series: Vec<Series> = Vec::new();
+    for name in ["csr", "ell", "bcsr", "sell", "csr-spmv", "sell-spmv"] {
+        for lvl in ["scalar", "simd"] {
+            series.push(Series {
+                label: format!("{name}/{lvl}"),
+                values: Vec::new(),
+            });
+        }
+    }
+
+    for entry in suite {
+        let b = spmm_matgen::gen::dense_b(entry.coo.cols(), ctx.k, ctx.seed ^ 0xB);
+        let reference = entry.coo.spmm_reference_k(&b, ctx.k);
+        let useful_mm = spmm_kernels::spmm_flops(entry.coo.nnz(), ctx.k) as f64;
+        let useful_mv = 2.0 * entry.coo.nnz() as f64;
+
+        let csr = CsrMatrix::from_coo(&entry.coo);
+        let ell = EllMatrix::from_coo(&entry.coo);
+        let bcsr =
+            BcsrMatrix::from_coo(&entry.coo, ctx.block).expect("BCSR constructs for the suite");
+        let sell = SellMatrix::with_lane_width(&csr, lanes, SELL_SIGMA).expect("SELL constructs");
+
+        let mut c = DenseMatrix::zeros(entry.coo.rows(), ctx.k);
+        let x: Vec<f64> = (0..entry.coo.cols()).map(|i| b.get(i, 0)).collect();
+        let x_ref = entry.coo.spmv_reference(&x);
+        let mut y = vec![0.0f64; entry.coo.rows()];
+
+        for (si, level) in [(0usize, SimdLevel::Scalar), (1, hw)] {
+            series[si].values.push(measured(iterations, useful_mm, || {
+                simd::csr_spmm_at(level, &csr, &b, ctx.k, &mut c)
+            }));
+            assert!(
+                spmm_core::max_rel_error(&c, &reference) < 1e-9,
+                "{} csr {}",
+                entry.name,
+                level.name()
+            );
+
+            series[2 + si]
+                .values
+                .push(measured(iterations, useful_mm, || {
+                    simd::ell_spmm_at(level, &ell, &b, ctx.k, &mut c)
+                }));
+            assert!(spmm_core::max_rel_error(&c, &reference) < 1e-9);
+
+            series[4 + si]
+                .values
+                .push(measured(iterations, useful_mm, || {
+                    simd::bcsr_spmm_at(level, &bcsr, &b, ctx.k, &mut c)
+                }));
+            assert!(spmm_core::max_rel_error(&c, &reference) < 1e-9);
+
+            series[6 + si]
+                .values
+                .push(measured(iterations, useful_mm, || {
+                    simd::sell_spmm_at(level, &sell, &b, ctx.k, &mut c)
+                }));
+            assert!(spmm_core::max_rel_error(&c, &reference) < 1e-9);
+
+            series[8 + si]
+                .values
+                .push(measured(iterations, useful_mv, || {
+                    simd::csr_spmv_at(level, &csr, &x, &mut y)
+                }));
+            let worst = y
+                .iter()
+                .zip(&x_ref)
+                .map(|(a, b)| (a - b).abs() / b.abs().max(1.0))
+                .fold(0.0f64, f64::max);
+            assert!(worst < 1e-9, "{} csr-spmv {}", entry.name, level.name());
+
+            series[10 + si]
+                .values
+                .push(measured(iterations, useful_mv, || {
+                    simd::sell_spmv_at(level, &sell, &x, &mut y)
+                }));
+            let worst = y
+                .iter()
+                .zip(&x_ref)
+                .map(|(a, b)| (a - b).abs() / b.abs().max(1.0))
+                .fold(0.0f64, f64::max);
+            assert!(worst < 1e-9, "{} sell-spmv {}", entry.name, level.name());
+        }
+    }
+
+    StudyResult {
+        id: "study12".to_string(),
+        figure: "Figure 6.3 (extension)".to_string(),
+        title: format!(
+            "Study 12: Scalar vs SIMD micro-kernels ({} host, SELL C={})",
+            hw.name(),
+            lanes
+        ),
+        rows: suite.iter().map(|m| m.name.clone()).collect(),
+        series,
+        unit: "MFLOPS".to_string(),
+    }
+}
+
+/// Measured scalar-vs-SIMD MFLOPS for CSR and lane-width SELL across the
+/// [`SWEEP_KS`] sweep on one matrix — the trajectory view: at which k the
+/// vector units pull away from the scalar pipeline.
+pub fn study12_k_sweep(ctx: &StudyContext, entry: &MatrixEntry) -> StudyResult {
+    let hw = simd::hardware_level();
+    let iterations = 2;
+    let lanes = sell_lane_width();
+    let csr = CsrMatrix::from_coo(&entry.coo);
+    let sell = SellMatrix::with_lane_width(&csr, lanes, SELL_SIGMA).expect("SELL constructs");
+
+    let mut series: Vec<Series> = Vec::new();
+    for name in ["csr", "sell"] {
+        for lvl in ["scalar", "simd"] {
+            series.push(Series {
+                label: format!("{name}/{lvl}"),
+                values: Vec::new(),
+            });
+        }
+    }
+
+    for &k in &SWEEP_KS {
+        let b = spmm_matgen::gen::dense_b(entry.coo.cols(), k, ctx.seed ^ 0xB);
+        let reference = entry.coo.spmm_reference_k(&b, k);
+        let useful = spmm_kernels::spmm_flops(entry.coo.nnz(), k) as f64;
+        let mut c = DenseMatrix::zeros(entry.coo.rows(), k);
+
+        for (si, level) in [(0usize, SimdLevel::Scalar), (1, hw)] {
+            series[si].values.push(measured(iterations, useful, || {
+                simd::csr_spmm_at(level, &csr, &b, k, &mut c)
+            }));
+            assert!(spmm_core::max_rel_error(&c, &reference) < 1e-9);
+
+            series[2 + si].values.push(measured(iterations, useful, || {
+                simd::sell_spmm_at(level, &sell, &b, k, &mut c)
+            }));
+            assert!(spmm_core::max_rel_error(&c, &reference) < 1e-9);
+        }
+    }
+
+    StudyResult {
+        id: format!("study12-ksweep-{}", entry.name),
+        figure: "Figure 6.4 (extension)".to_string(),
+        title: format!("Study 12: SIMD speedup vs k ({})", entry.name),
+        rows: SWEEP_KS.iter().map(|k| format!("k={k}")).collect(),
+        series,
+        unit: "MFLOPS".to_string(),
+    }
+}
+
+/// Mean simd-over-scalar speedup per kernel (1.0 = parity), walking the
+/// study's (scalar, simd) series pairs.
+pub fn simd_speedup_summary(result: &StudyResult) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < result.series.len() {
+        let scalar = &result.series[i];
+        let vector = &result.series[i + 1];
+        let ratios: Vec<f64> = scalar
+            .values
+            .iter()
+            .zip(&vector.values)
+            .filter(|(s, v)| s.is_finite() && v.is_finite() && **s > 0.0)
+            .map(|(s, v)| v / s)
+            .collect();
+        let mean = ratios.iter().sum::<f64>() / ratios.len().max(1) as f64;
+        let kernel = scalar.label.split('/').next().unwrap_or(&scalar.label);
+        out.push((kernel.to_string(), mean));
+        i += 2;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::studies::load_suite;
+
+    #[test]
+    fn study12_measures_every_pair() {
+        let ctx = StudyContext::quick();
+        let suite: Vec<_> = load_suite(&ctx).into_iter().take(3).collect();
+        let r = study12(&ctx, &suite);
+        assert_eq!(r.series.len(), 12); // 4 SpMM pairs + 2 SpMV pairs
+        for s in &r.series {
+            assert_eq!(s.values.len(), 3, "{}", s.label);
+            assert!(s.values.iter().all(|v| v.is_finite() && *v > 0.0));
+        }
+        let speedups = simd_speedup_summary(&r);
+        assert_eq!(speedups.len(), 6);
+        assert!(speedups.iter().all(|(_, s)| s.is_finite() && *s > 0.0));
+    }
+
+    #[test]
+    fn study12_k_sweep_covers_the_sweep() {
+        let ctx = StudyContext::quick();
+        let suite: Vec<_> = load_suite(&ctx).into_iter().take(1).collect();
+        let r = study12_k_sweep(&ctx, &suite[0]);
+        assert_eq!(r.rows.len(), SWEEP_KS.len());
+        assert_eq!(r.series.len(), 4);
+        for s in &r.series {
+            assert_eq!(s.values.len(), SWEEP_KS.len(), "{}", s.label);
+            assert!(s.values.iter().all(|v| *v > 0.0));
+        }
+    }
+
+    #[test]
+    fn sell_lane_width_is_vectorizable() {
+        let lanes = sell_lane_width();
+        assert!(lanes >= 4, "slice height {lanes} below the minimum");
+        assert!(lanes.is_power_of_two());
+    }
+}

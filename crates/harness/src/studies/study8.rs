@@ -40,7 +40,7 @@ pub fn study8(ctx: &StudyContext, label: &str, suite: &[MatrixEntry]) -> StudyRe
             let mut c = DenseMatrix::zeros(entry.coo.rows(), ctx.k);
 
             let t_norm = time_repeated(iterations, || {
-                data.spmm_parallel(pool, threads, Schedule::Static, &b, ctx.k, &mut c);
+                data.spmm_parallel(pool, threads, Schedule::Auto, &b, ctx.k, &mut c);
             });
             assert!(
                 spmm_core::max_rel_error(&c, &reference) < 1e-9,
@@ -52,10 +52,10 @@ pub fn study8(ctx: &StudyContext, label: &str, suite: &[MatrixEntry]) -> StudyRe
                 .push(useful as f64 / t_norm.avg.as_secs_f64() / 1e6);
 
             let supported =
-                data.spmm_parallel_bt(pool, threads, Schedule::Static, &bt, ctx.k, &mut c);
+                data.spmm_parallel_bt(pool, threads, Schedule::Auto, &bt, ctx.k, &mut c);
             assert!(supported, "paper formats all have transpose kernels");
             let t_bt = time_repeated(iterations, || {
-                data.spmm_parallel_bt(pool, threads, Schedule::Static, &bt, ctx.k, &mut c);
+                data.spmm_parallel_bt(pool, threads, Schedule::Auto, &bt, ctx.k, &mut c);
             });
             assert!(
                 spmm_core::max_rel_error(&c, &reference) < 1e-9,

@@ -45,6 +45,12 @@ pub fn study9(ctx: &StudyContext, suite: &[MatrixEntry]) -> StudyResult {
             values: Vec::new(),
         });
     }
+    // nnz-balanced static partition (CSR exposes the prefix sum). Appended
+    // unpaired so `improvement_percent` keeps its base/opt pairing.
+    series.push(Series {
+        label: "csr/omp-balanced".to_string(),
+        values: Vec::new(),
+    });
 
     for entry in suite {
         let b = spmm_matgen::gen::dense_b(entry.coo.cols(), ctx.k, ctx.seed ^ 0xB);
@@ -74,19 +80,28 @@ pub fn study9(ctx: &StudyContext, suite: &[MatrixEntry]) -> StudyResult {
         for (si, fi) in [(8usize, 1usize), (10, 2)] {
             let data = &formatted[fi].1;
             let t = time_repeated(iterations, || {
-                data.spmm_parallel(pool, threads, Schedule::Static, &b, ctx.k, &mut c);
+                data.spmm_parallel(pool, threads, Schedule::Auto, &b, ctx.k, &mut c);
             });
             assert!(spmm_core::max_rel_error(&c, &reference) < 1e-9);
             series[si].values.push(useful / t.avg.as_secs_f64() / 1e6);
 
             let t = time_repeated(iterations, || {
-                data.spmm_parallel_fixed_k(pool, threads, Schedule::Static, &b, ctx.k, &mut c);
+                data.spmm_parallel_fixed_k(pool, threads, Schedule::Auto, &b, ctx.k, &mut c);
             });
             assert!(spmm_core::max_rel_error(&c, &reference) < 1e-9);
             series[si + 1]
                 .values
                 .push(useful / t.avg.as_secs_f64() / 1e6);
         }
+
+        // The balanced static split over CSR's row_ptr prefix sum.
+        let csr_data = &formatted[1].1;
+        assert!(csr_data.spmm_parallel_balanced(pool, threads, &b, ctx.k, &mut c));
+        let t = time_repeated(iterations, || {
+            csr_data.spmm_parallel_balanced(pool, threads, &b, ctx.k, &mut c);
+        });
+        assert!(spmm_core::max_rel_error(&c, &reference) < 1e-9);
+        series[12].values.push(useful / t.avg.as_secs_f64() / 1e6);
     }
 
     StudyResult {
@@ -130,7 +145,8 @@ mod tests {
         let ctx = StudyContext::quick();
         let suite: Vec<_> = load_suite(&ctx).into_iter().take(3).collect();
         let r = study9(&ctx, &suite);
-        assert_eq!(r.series.len(), 12); // 4 serial pairs + 2 parallel pairs
+        // 4 serial pairs + 2 parallel pairs + the unpaired balanced series.
+        assert_eq!(r.series.len(), 13);
         for s in &r.series {
             assert_eq!(s.values.len(), 3, "{}", s.label);
             assert!(s.values.iter().all(|v| *v > 0.0));

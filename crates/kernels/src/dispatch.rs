@@ -12,6 +12,7 @@ use spmm_core::{
 };
 use spmm_parallel::{Schedule, ThreadPool};
 
+use crate::simd::{self, SimdLevel, SimdScalar};
 use crate::tiled::{self, TileConfig};
 use crate::{extended, optimized, parallel, serial, spmv, transpose};
 
@@ -333,6 +334,24 @@ impl<T: Scalar, I: Index> FormatData<T, I> {
         true
     }
 
+    /// Serial CPU-parallel SpMM with an nnz-balanced static row split
+    /// (see [`spmm_parallel::balanced_partition`]). Only CSR exposes the
+    /// nonzero prefix sum the split needs; other formats return `false`.
+    pub fn spmm_parallel_balanced(
+        &self,
+        pool: &ThreadPool,
+        threads: usize,
+        b: &DenseMatrix<T>,
+        k: usize,
+        c: &mut DenseMatrix<T>,
+    ) -> bool {
+        match self {
+            FormatData::Csr(m) => parallel::csr_spmm_balanced(pool, threads, m, b, k, c),
+            _ => return false,
+        }
+        true
+    }
+
     /// Parallel SpMV (§6.3.4).
     pub fn spmv_parallel(
         &self,
@@ -351,6 +370,52 @@ impl<T: Scalar, I: Index> FormatData<T, I> {
             | FormatData::Csr5(_)
             | FormatData::Sell(_)
             | FormatData::Hyb(_) => return false,
+        }
+        true
+    }
+}
+
+/// SIMD entry points need the richer [`SimdScalar`] bound (a per-type
+/// kernel table), so they live in their own impl block.
+impl<T: SimdScalar, I: Index> FormatData<T, I> {
+    /// Serial SpMM through the runtime-dispatched SIMD micro-kernels at
+    /// the process-wide [`simd::active_level`]. Returns `false` for
+    /// formats without a SIMD kernel (COO, BELL, CSR5, HYB).
+    pub fn spmm_serial_simd(&self, b: &DenseMatrix<T>, k: usize, c: &mut DenseMatrix<T>) -> bool {
+        self.spmm_serial_simd_at(simd::active_level(), b, k, c)
+    }
+
+    /// Serial SIMD SpMM at an explicit [`SimdLevel`] (A/B studies pin the
+    /// scalar baseline this way).
+    pub fn spmm_serial_simd_at(
+        &self,
+        level: SimdLevel,
+        b: &DenseMatrix<T>,
+        k: usize,
+        c: &mut DenseMatrix<T>,
+    ) -> bool {
+        match self {
+            FormatData::Csr(m) => simd::csr_spmm_at(level, m, b, k, c),
+            FormatData::Ell(m) => simd::ell_spmm_at(level, m, b, k, c),
+            FormatData::Bcsr(m) => simd::bcsr_spmm_at(level, m, b, k, c),
+            FormatData::Sell(m) => simd::sell_spmm_at(level, m, b, k, c),
+            FormatData::Coo(_) | FormatData::Bell(_) | FormatData::Csr5(_) | FormatData::Hyb(_) => {
+                return false
+            }
+        }
+        true
+    }
+
+    /// Serial SIMD SpMV at an explicit [`SimdLevel`]. CSR uses gathered
+    /// dot products; SELL-C-σ vectorizes across slice lanes (the layout's
+    /// native axis). Other formats return `false` — note this is a wider
+    /// set than [`FormatData::spmv_serial`], which intentionally keeps
+    /// SELL unsupported to match the paper's scalar kernel matrix.
+    pub fn spmv_serial_simd_at(&self, level: SimdLevel, x: &[T], y: &mut [T]) -> bool {
+        match self {
+            FormatData::Csr(m) => simd::csr_spmv_at(level, m, x, y),
+            FormatData::Sell(m) => simd::sell_spmv_at(level, m, x, y),
+            _ => return false,
         }
         true
     }
@@ -454,6 +519,86 @@ mod tests {
             assert_eq!(ran, supported, "{fmt}");
             if supported {
                 assert!(c.max_abs_diff(&expected) < 1e-12, "{fmt} tiled parallel");
+            }
+        }
+    }
+
+    #[test]
+    fn simd_dispatch_covers_vector_formats() {
+        let (coo, b) = fixture();
+        let expected = coo.spmm_reference_k(&b, 8);
+        let simd_formats = [
+            SparseFormat::Csr,
+            SparseFormat::Ell,
+            SparseFormat::Bcsr,
+            SparseFormat::Sell,
+        ];
+        for fmt in SparseFormat::ALL {
+            let data = FormatData::from_coo(fmt, &coo, 4).unwrap();
+            let supported = simd_formats.contains(&fmt);
+            for level in [SimdLevel::Scalar, simd::hardware_level()] {
+                let mut c = DenseMatrix::zeros(40, 8);
+                assert_eq!(
+                    data.spmm_serial_simd_at(level, &b, 8, &mut c),
+                    supported,
+                    "{fmt}"
+                );
+                if supported {
+                    assert!(
+                        c.max_abs_diff(&expected) < 1e-12,
+                        "{fmt} simd {}",
+                        level.name()
+                    );
+                }
+            }
+            // The active-level wrapper agrees with its explicit twin.
+            let mut c = DenseMatrix::zeros(40, 8);
+            assert_eq!(data.spmm_serial_simd(&b, 8, &mut c), supported, "{fmt}");
+            if supported {
+                assert!(c.max_abs_diff(&expected) < 1e-12, "{fmt} simd active");
+            }
+        }
+    }
+
+    #[test]
+    fn simd_spmv_dispatch_adds_sell() {
+        let (coo, _) = fixture();
+        let x: Vec<f64> = (0..25).map(|i| i as f64 * 0.25 - 2.0).collect();
+        let expected = coo.spmv_reference(&x);
+        for fmt in SparseFormat::ALL {
+            let data = FormatData::from_coo(fmt, &coo, 2).unwrap();
+            let supported = matches!(fmt, SparseFormat::Csr | SparseFormat::Sell);
+            for level in [SimdLevel::Scalar, simd::hardware_level()] {
+                let mut y = vec![0.0; 40];
+                assert_eq!(
+                    data.spmv_serial_simd_at(level, &x, &mut y),
+                    supported,
+                    "{fmt}"
+                );
+                if supported {
+                    let worst = y
+                        .iter()
+                        .zip(&expected)
+                        .map(|(a, b)| (a - b).abs())
+                        .fold(0.0f64, f64::max);
+                    assert!(worst < 1e-12, "{fmt} simd spmv {}", level.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_dispatch_is_csr_only() {
+        let (coo, b) = fixture();
+        let expected = coo.spmm_reference_k(&b, 8);
+        let pool = ThreadPool::new(3);
+        for fmt in SparseFormat::ALL {
+            let data = FormatData::from_coo(fmt, &coo, 4).unwrap();
+            let mut c = DenseMatrix::zeros(40, 8);
+            let ran = data.spmm_parallel_balanced(&pool, 3, &b, 8, &mut c);
+            assert_eq!(ran, fmt == SparseFormat::Csr, "{fmt}");
+            if ran {
+                assert!(c.max_abs_diff(&expected) < 1e-12, "{fmt} balanced");
             }
         }
     }

@@ -35,6 +35,7 @@ pub mod extended;
 pub mod optimized;
 pub mod parallel;
 pub mod serial;
+pub mod simd;
 pub mod spmv;
 pub mod tiled;
 pub mod transpose;

@@ -100,6 +100,40 @@ pub fn csr_spmm<T: Scalar, I: Index>(
     });
 }
 
+/// CSR SpMM with an nnz-balanced static row split: rows are cut where the
+/// `row_ptr` nonzero prefix is even, not where the row count is. This is
+/// the static-schedule fix for power-law matrices (`torso1`'s monster
+/// rows): each thread gets one contiguous chunk (no cursor traffic, like
+/// `Schedule::Static`) but the chunks carry near-equal arithmetic.
+pub fn csr_spmm_balanced<T: Scalar, I: Index>(
+    pool: &ThreadPool,
+    threads: usize,
+    a: &CsrMatrix<T, I>,
+    b: &DenseMatrix<T>,
+    k: usize,
+    c: &mut DenseMatrix<T>,
+) {
+    check_spmm_shapes(a.rows(), a.cols(), b, k, c);
+    let threads = threads.max(1);
+    let row_ptr = a.row_ptr();
+    let ranges = spmm_parallel::balanced_partition(a.rows(), threads, |i| row_ptr[i].as_usize());
+    let k_cols = c.cols();
+    let c_slice = DisjointSlice::new(c.as_mut_slice());
+    let ranges_ref = &ranges;
+    pool.broadcast(threads, |tid| {
+        for i in ranges_ref[tid].clone() {
+            // SAFETY: the partition's ranges are disjoint by construction,
+            // so each C row has exactly one writer.
+            let c_row = unsafe { c_slice.slice_mut(i * k_cols, k_cols) };
+            c_row[..k].fill(T::ZERO);
+            let (cols, vals) = a.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                axpy(c_row, v, b.row(j.as_usize()), k);
+            }
+        }
+    });
+}
+
 /// ELLPACK SpMM parallelized over rows. The constant row width makes the
 /// per-row work identical (modulo padding), which is why ELL favours high
 /// static thread counts in Study 3.1.
@@ -336,6 +370,8 @@ mod tests {
                 assert_close(&c, &expected, &format!("coo t={threads} k={k}"));
                 csr_spmm(&pool, threads, Schedule::Static, &csr, &b, k, &mut c);
                 assert_close(&c, &expected, &format!("csr t={threads} k={k}"));
+                csr_spmm_balanced(&pool, threads, &csr, &b, k, &mut c);
+                assert_close(&c, &expected, &format!("csr-bal t={threads} k={k}"));
                 ell_spmm(&pool, threads, Schedule::Static, &ell, &b, k, &mut c);
                 assert_close(&c, &expected, &format!("ell t={threads} k={k}"));
                 bcsr_spmm(&pool, threads, Schedule::Static, &bcsr, &b, k, &mut c);
@@ -354,7 +390,12 @@ mod tests {
         let (coo, b) = fixture(64, 64, 7);
         let csr = CsrMatrix::from_coo(&coo);
         let expected = coo.spmm_reference_k(&b, 8);
-        for sched in [Schedule::Static, Schedule::Dynamic(3), Schedule::Guided(2)] {
+        for sched in [
+            Schedule::Static,
+            Schedule::Dynamic(3),
+            Schedule::Guided(2),
+            Schedule::Auto,
+        ] {
             let mut c = DenseMatrix::zeros(64, 8);
             csr_spmm(&pool, 4, sched, &csr, &b, 8, &mut c);
             assert_close(&c, &expected, &format!("{sched:?}"));

@@ -1,0 +1,46 @@
+//! aarch64 NEON kernel bodies — currently a stub.
+//!
+//! Detection reports [`super::SimdLevel::Neon`] on aarch64 so the whole
+//! dispatch path (level selection, kernel tables, the harness `--simd`
+//! flag) is exercised on ARM hosts, but the bodies below still forward to
+//! the portable scalar implementations. Replacing them with 128-bit
+//! `vfmaq_f64` / `vfmaq_f32` kernels is the tracked follow-up; the
+//! signatures already match the [`super::KernelTable`] slots so only these
+//! bodies change.
+
+/// NEON axpy placeholder: scalar body behind the NEON table slot.
+///
+/// # Safety
+/// None beyond the slice contract (`b.len() >= c.len()`); `unsafe fn` only
+/// to fit the [`super::KernelTable`] pointer type.
+pub(super) unsafe fn axpy_f64(c: &mut [f64], a: f64, b: &[f64]) {
+    // SAFETY: the scalar body has no requirements of its own.
+    unsafe { super::axpy_scalar(c, a, b) }
+}
+
+/// NEON axpy placeholder, f32.
+///
+/// # Safety
+/// See [`axpy_f64`].
+pub(super) unsafe fn axpy_f32(c: &mut [f32], a: f32, b: &[f32]) {
+    // SAFETY: the scalar body has no requirements of its own.
+    unsafe { super::axpy_scalar(c, a, b) }
+}
+
+/// NEON dot placeholder: scalar body behind the NEON table slot.
+///
+/// # Safety
+/// None; `unsafe fn` only to fit the [`super::KernelTable`] pointer type.
+pub(super) unsafe fn dot_f64(x: &[f64], y: &[f64]) -> f64 {
+    // SAFETY: the scalar body has no requirements of its own.
+    unsafe { super::dot_scalar(x, y) }
+}
+
+/// NEON dot placeholder, f32.
+///
+/// # Safety
+/// See [`dot_f64`].
+pub(super) unsafe fn dot_f32(x: &[f32], y: &[f32]) -> f32 {
+    // SAFETY: the scalar body has no requirements of its own.
+    unsafe { super::dot_scalar(x, y) }
+}

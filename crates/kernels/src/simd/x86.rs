@@ -1,0 +1,340 @@
+//! x86-64 AVX2+FMA kernel bodies.
+//!
+//! Every function here carries `#[target_feature(enable = "avx2", enable =
+//! "fma")]` and is therefore `unsafe fn`: the caller must have verified both
+//! features at run time (the [`super::SimdLevel::Avx2Fma`] level is only ever
+//! selected after `is_x86_feature_detected!` confirmed them, and
+//! [`super::KernelTable`] lookups preserve that proof). All memory access is
+//! through slices or pointer arithmetic bounded by the slice lengths the
+//! signatures receive, so beyond the ISA requirement these functions have no
+//! extra safety conditions.
+//!
+//! Rounding note: these kernels use fused multiply-add (`_mm256_fmadd_pd`)
+//! including in their scalar remainder loops (via `f64::mul_add`), while the
+//! portable kernels round after the multiply (`Scalar::mul_add` is a plain
+//! `a * b + c` for floats). SIMD and scalar results therefore differ by a few
+//! ULP per accumulation; the property tests compare against the COO reference
+//! with an explicit tolerance instead of bit equality.
+
+use std::arch::x86_64::*;
+
+use spmm_core::Index;
+
+/// `c[i] += a * b[i]` for `i in 0..c.len()`, 4-wide f64 FMA, 2× unrolled.
+///
+/// # Safety
+/// AVX2 and FMA must be available; `b.len() >= c.len()`.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(super) unsafe fn axpy_f64(c: &mut [f64], a: f64, b: &[f64]) {
+    let n = c.len();
+    debug_assert!(b.len() >= n, "axpy_f64: b shorter than c");
+    let cp = c.as_mut_ptr();
+    let bp = b.as_ptr();
+    // SAFETY: every offset below is < n <= min(c.len(), b.len()).
+    unsafe {
+        let va = _mm256_set1_pd(a);
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let c0 = _mm256_loadu_pd(cp.add(i));
+            let c1 = _mm256_loadu_pd(cp.add(i + 4));
+            let b0 = _mm256_loadu_pd(bp.add(i));
+            let b1 = _mm256_loadu_pd(bp.add(i + 4));
+            _mm256_storeu_pd(cp.add(i), _mm256_fmadd_pd(va, b0, c0));
+            _mm256_storeu_pd(cp.add(i + 4), _mm256_fmadd_pd(va, b1, c1));
+            i += 8;
+        }
+        if i + 4 <= n {
+            let c0 = _mm256_loadu_pd(cp.add(i));
+            let b0 = _mm256_loadu_pd(bp.add(i));
+            _mm256_storeu_pd(cp.add(i), _mm256_fmadd_pd(va, b0, c0));
+            i += 4;
+        }
+        while i < n {
+            *cp.add(i) = a.mul_add(*bp.add(i), *cp.add(i));
+            i += 1;
+        }
+    }
+}
+
+/// `c[i] += a * b[i]` for `i in 0..c.len()`, 8-wide f32 FMA, 2× unrolled.
+///
+/// # Safety
+/// AVX2 and FMA must be available; `b.len() >= c.len()`.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(super) unsafe fn axpy_f32(c: &mut [f32], a: f32, b: &[f32]) {
+    let n = c.len();
+    debug_assert!(b.len() >= n, "axpy_f32: b shorter than c");
+    let cp = c.as_mut_ptr();
+    let bp = b.as_ptr();
+    // SAFETY: every offset below is < n <= min(c.len(), b.len()).
+    unsafe {
+        let va = _mm256_set1_ps(a);
+        let mut i = 0usize;
+        while i + 16 <= n {
+            let c0 = _mm256_loadu_ps(cp.add(i));
+            let c1 = _mm256_loadu_ps(cp.add(i + 8));
+            let b0 = _mm256_loadu_ps(bp.add(i));
+            let b1 = _mm256_loadu_ps(bp.add(i + 8));
+            _mm256_storeu_ps(cp.add(i), _mm256_fmadd_ps(va, b0, c0));
+            _mm256_storeu_ps(cp.add(i + 8), _mm256_fmadd_ps(va, b1, c1));
+            i += 16;
+        }
+        if i + 8 <= n {
+            let c0 = _mm256_loadu_ps(cp.add(i));
+            let b0 = _mm256_loadu_ps(bp.add(i));
+            _mm256_storeu_ps(cp.add(i), _mm256_fmadd_ps(va, b0, c0));
+            i += 8;
+        }
+        while i < n {
+            *cp.add(i) = a.mul_add(*bp.add(i), *cp.add(i));
+            i += 1;
+        }
+    }
+}
+
+/// Dense dot product over `min(x.len(), y.len())` elements.
+///
+/// # Safety
+/// AVX2 and FMA must be available.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(super) unsafe fn dot_f64(x: &[f64], y: &[f64]) -> f64 {
+    let n = x.len().min(y.len());
+    let xp = x.as_ptr();
+    let yp = y.as_ptr();
+    // SAFETY: every offset below is < n <= min(x.len(), y.len()).
+    unsafe {
+        let mut acc0 = _mm256_setzero_pd();
+        let mut acc1 = _mm256_setzero_pd();
+        let mut i = 0usize;
+        while i + 8 <= n {
+            acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(xp.add(i)), _mm256_loadu_pd(yp.add(i)), acc0);
+            acc1 = _mm256_fmadd_pd(
+                _mm256_loadu_pd(xp.add(i + 4)),
+                _mm256_loadu_pd(yp.add(i + 4)),
+                acc1,
+            );
+            i += 8;
+        }
+        if i + 4 <= n {
+            acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(xp.add(i)), _mm256_loadu_pd(yp.add(i)), acc0);
+            i += 4;
+        }
+        let mut sum = hsum_pd(_mm256_add_pd(acc0, acc1));
+        while i < n {
+            sum = (*xp.add(i)).mul_add(*yp.add(i), sum);
+            i += 1;
+        }
+        sum
+    }
+}
+
+/// Dense dot product over `min(x.len(), y.len())` elements, f32.
+///
+/// # Safety
+/// AVX2 and FMA must be available.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(super) unsafe fn dot_f32(x: &[f32], y: &[f32]) -> f32 {
+    let n = x.len().min(y.len());
+    let xp = x.as_ptr();
+    let yp = y.as_ptr();
+    // SAFETY: every offset below is < n <= min(x.len(), y.len()).
+    unsafe {
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut i = 0usize;
+        while i + 16 <= n {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(xp.add(i)), _mm256_loadu_ps(yp.add(i)), acc0);
+            acc1 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(xp.add(i + 8)),
+                _mm256_loadu_ps(yp.add(i + 8)),
+                acc1,
+            );
+            i += 16;
+        }
+        if i + 8 <= n {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(xp.add(i)), _mm256_loadu_ps(yp.add(i)), acc0);
+            i += 8;
+        }
+        let mut sum = hsum_ps(_mm256_add_ps(acc0, acc1));
+        while i < n {
+            sum = (*xp.add(i)).mul_add(*yp.add(i), sum);
+            i += 1;
+        }
+        sum
+    }
+}
+
+/// CSR-row gathered dot: `Σ vals[e] * x[cols[e]]` over
+/// `min(cols.len(), vals.len())` entries. AVX2 has no f64 gather cheaper
+/// than manual `_mm256_set_pd` for unsorted indices, so the gather stays
+/// scalar while the multiply-accumulate is 4-wide; `x` is indexed through
+/// the safe slice API so out-of-range columns still panic like the scalar
+/// kernel.
+///
+/// # Safety
+/// AVX2 and FMA must be available.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(super) unsafe fn gather_dot_f64<I: Index>(cols: &[I], vals: &[f64], x: &[f64]) -> f64 {
+    let n = cols.len().min(vals.len());
+    // SAFETY: `vals` loads are bounded by n; `x` access is checked slice
+    // indexing.
+    unsafe {
+        let mut acc = _mm256_setzero_pd();
+        let mut i = 0usize;
+        while i + 4 <= n {
+            let g = _mm256_set_pd(
+                x[cols[i + 3].as_usize()],
+                x[cols[i + 2].as_usize()],
+                x[cols[i + 1].as_usize()],
+                x[cols[i].as_usize()],
+            );
+            acc = _mm256_fmadd_pd(_mm256_loadu_pd(vals.as_ptr().add(i)), g, acc);
+            i += 4;
+        }
+        let mut sum = hsum_pd(acc);
+        while i < n {
+            sum = vals[i].mul_add(x[cols[i].as_usize()], sum);
+            i += 1;
+        }
+        sum
+    }
+}
+
+/// f32 variant of [`gather_dot_f64`], 8-wide.
+///
+/// # Safety
+/// AVX2 and FMA must be available.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(super) unsafe fn gather_dot_f32<I: Index>(cols: &[I], vals: &[f32], x: &[f32]) -> f32 {
+    let n = cols.len().min(vals.len());
+    // SAFETY: `vals` loads are bounded by n; `x` access is checked slice
+    // indexing.
+    unsafe {
+        let mut acc = _mm256_setzero_ps();
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let g = _mm256_set_ps(
+                x[cols[i + 7].as_usize()],
+                x[cols[i + 6].as_usize()],
+                x[cols[i + 5].as_usize()],
+                x[cols[i + 4].as_usize()],
+                x[cols[i + 3].as_usize()],
+                x[cols[i + 2].as_usize()],
+                x[cols[i + 1].as_usize()],
+                x[cols[i].as_usize()],
+            );
+            acc = _mm256_fmadd_ps(_mm256_loadu_ps(vals.as_ptr().add(i)), g, acc);
+            i += 8;
+        }
+        let mut sum = hsum_ps(acc);
+        while i < n {
+            sum = vals[i].mul_add(x[cols[i].as_usize()], sum);
+            i += 1;
+        }
+        sum
+    }
+}
+
+/// One SELL-C-σ slice of SpMV with C = 4 (the f64 lane count): each lane
+/// accumulates one row, every slot is one contiguous 4-value load plus a
+/// 4-element gather of x — this contiguous value access is exactly the
+/// layout payoff `SellMatrix::with_lane_width` aligns for. Ghost lanes
+/// hold zero values with column 0, so they contribute `0 * x[0]` and the
+/// caller discards them.
+///
+/// # Safety
+/// AVX2 and FMA must be available; `cols.len() >= width * 4`,
+/// `vals.len() >= width * 4`, `out.len() >= 4`.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(super) unsafe fn sell_slice_f64<I: Index>(
+    width: usize,
+    cols: &[I],
+    vals: &[f64],
+    x: &[f64],
+    out: &mut [f64],
+) {
+    debug_assert!(cols.len() >= width * 4 && vals.len() >= width * 4 && out.len() >= 4);
+    // SAFETY: offsets bounded by the length contract above; `x` access is
+    // checked slice indexing.
+    unsafe {
+        let mut acc = _mm256_setzero_pd();
+        for slot in 0..width {
+            let at = slot * 4;
+            let v = _mm256_loadu_pd(vals.as_ptr().add(at));
+            let g = _mm256_set_pd(
+                x[cols[at + 3].as_usize()],
+                x[cols[at + 2].as_usize()],
+                x[cols[at + 1].as_usize()],
+                x[cols[at].as_usize()],
+            );
+            acc = _mm256_fmadd_pd(v, g, acc);
+        }
+        _mm256_storeu_pd(out.as_mut_ptr(), acc);
+    }
+}
+
+/// f32 variant of [`sell_slice_f64`] with C = 8.
+///
+/// # Safety
+/// AVX2 and FMA must be available; `cols.len() >= width * 8`,
+/// `vals.len() >= width * 8`, `out.len() >= 8`.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(super) unsafe fn sell_slice_f32<I: Index>(
+    width: usize,
+    cols: &[I],
+    vals: &[f32],
+    x: &[f32],
+    out: &mut [f32],
+) {
+    debug_assert!(cols.len() >= width * 8 && vals.len() >= width * 8 && out.len() >= 8);
+    // SAFETY: offsets bounded by the length contract above; `x` access is
+    // checked slice indexing.
+    unsafe {
+        let mut acc = _mm256_setzero_ps();
+        for slot in 0..width {
+            let at = slot * 8;
+            let v = _mm256_loadu_ps(vals.as_ptr().add(at));
+            let g = _mm256_set_ps(
+                x[cols[at + 7].as_usize()],
+                x[cols[at + 6].as_usize()],
+                x[cols[at + 5].as_usize()],
+                x[cols[at + 4].as_usize()],
+                x[cols[at + 3].as_usize()],
+                x[cols[at + 2].as_usize()],
+                x[cols[at + 1].as_usize()],
+                x[cols[at].as_usize()],
+            );
+            acc = _mm256_fmadd_ps(v, g, acc);
+        }
+        _mm256_storeu_ps(out.as_mut_ptr(), acc);
+    }
+}
+
+/// Horizontal sum of a 4×f64 register.
+///
+/// # Safety
+/// AVX2 must be available.
+#[target_feature(enable = "avx2")]
+unsafe fn hsum_pd(v: __m256d) -> f64 {
+    // Register-only ops: safe inside the target_feature scope.
+    let lo = _mm256_castpd256_pd128(v);
+    let hi = _mm256_extractf128_pd::<1>(v);
+    let s = _mm_add_pd(lo, hi);
+    let hi64 = _mm_unpackhi_pd(s, s);
+    _mm_cvtsd_f64(_mm_add_sd(s, hi64))
+}
+
+/// Horizontal sum of an 8×f32 register.
+///
+/// # Safety
+/// AVX2 must be available.
+#[target_feature(enable = "avx2")]
+unsafe fn hsum_ps(v: __m256) -> f32 {
+    // Register-only ops: safe inside the target_feature scope.
+    let lo = _mm256_castps256_ps128(v);
+    let hi = _mm256_extractf128_ps::<1>(v);
+    let s = _mm_add_ps(lo, hi);
+    let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+    let s = _mm_add_ss(s, _mm_shuffle_ps::<1>(s, s));
+    _mm_cvtss_f32(s)
+}

@@ -11,7 +11,7 @@ use spmm_parallel::{Schedule, ThreadPool};
 use crate::util::DisjointSlice;
 
 #[inline]
-fn check_spmv_shapes<T>(a_rows: usize, a_cols: usize, x: &[T], y: &[T]) {
+pub(crate) fn check_spmv_shapes<T>(a_rows: usize, a_cols: usize, x: &[T], y: &[T]) {
     assert_eq!(a_cols, x.len(), "A has {a_cols} cols but x has {}", x.len());
     assert_eq!(a_rows, y.len(), "A has {a_rows} rows but y has {}", y.len());
 }

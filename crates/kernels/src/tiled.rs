@@ -43,6 +43,7 @@ use spmm_core::{BcsrMatrix, CsrMatrix, DenseMatrix, EllMatrix, Index, PackedPane
 use spmm_parallel::{Schedule, ThreadPool};
 
 use crate::optimized::{axpy_const, dispatch_const_k};
+use crate::simd::SimdLevel;
 use crate::util::{axpy, DisjointSlice};
 
 /// Register-tile heights with dedicated instantiations; `TileConfig`
@@ -130,6 +131,9 @@ fn check_tiled_shapes<T: Scalar>(
 // ---------------------------------------------------------------------------
 
 /// CSR register tile: `MR` rows of A against one `W`-wide panel.
+/// `inline(always)` so the AVX2 wrappers in [`simd_wrappers`] recompile
+/// this body with the vector features enabled.
+#[inline(always)]
 unsafe fn csr_tile<T: Scalar, I: Index, const MR: usize, const W: usize>(
     a: &CsrMatrix<T, I>,
     rows: Range<usize>,
@@ -168,6 +172,7 @@ unsafe fn csr_tile<T: Scalar, I: Index, const MR: usize, const W: usize>(
 
 /// ELLPACK register tile. Identical structure to [`csr_tile`]; padding
 /// slots multiply an explicit zero like the flat ELL kernels do.
+#[inline(always)]
 unsafe fn ell_tile<T: Scalar, I: Index, const MR: usize, const W: usize>(
     a: &EllMatrix<T, I>,
     rows: Range<usize>,
@@ -206,6 +211,7 @@ unsafe fn ell_tile<T: Scalar, I: Index, const MR: usize, const W: usize>(
 /// BCSR panel tile over a range of *block* rows. The register tile is the
 /// natural `block_r × W` accumulator of one block row; MR is not used
 /// because the block height is a runtime property of the format.
+#[inline(always)]
 unsafe fn bcsr_tile<T: Scalar, I: Index, const W: usize>(
     a: &BcsrMatrix<T, I>,
     block_rows: Range<usize>,
@@ -245,6 +251,7 @@ unsafe fn bcsr_tile<T: Scalar, I: Index, const W: usize>(
 // last panels, odd user-chosen widths). Same SAFETY contract.
 // ---------------------------------------------------------------------------
 
+#[inline(always)]
 unsafe fn csr_tile_any<T: Scalar, I: Index>(
     a: &CsrMatrix<T, I>,
     rows: Range<usize>,
@@ -265,6 +272,7 @@ unsafe fn csr_tile_any<T: Scalar, I: Index>(
     }
 }
 
+#[inline(always)]
 unsafe fn ell_tile_any<T: Scalar, I: Index>(
     a: &EllMatrix<T, I>,
     rows: Range<usize>,
@@ -285,6 +293,7 @@ unsafe fn ell_tile_any<T: Scalar, I: Index>(
     }
 }
 
+#[inline(always)]
 unsafe fn bcsr_tile_any<T: Scalar, I: Index>(
     a: &BcsrMatrix<T, I>,
     block_rows: Range<usize>,
@@ -319,22 +328,162 @@ unsafe fn bcsr_tile_any<T: Scalar, I: Index>(
 }
 
 // ---------------------------------------------------------------------------
-// Per-(rows × panel) drivers: dispatch width + MR onto the micro-kernels.
-// Same SAFETY contract as the micro-kernels they call.
+// AVX2+FMA instantiations. Each wrapper carries `#[target_feature]` and
+// simply calls the `inline(always)` portable body: LLVM inlines the body
+// into the wrapper and recompiles it (including the shared `axpy_const` /
+// `axpy` inner loops) with 256-bit FMA, turning the MR × W register tile
+// into actual vector registers. The panel drivers pick the wrapper or the
+// portable symbol per the dispatched [`SimdLevel`].
 // ---------------------------------------------------------------------------
 
+#[cfg(target_arch = "x86_64")]
+mod simd_wrappers {
+    use super::*;
+
+    /// # Safety
+    /// [`super::csr_tile`]'s module contract, plus AVX2 and FMA must be
+    /// available on the running CPU (guaranteed by level dispatch).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn csr_tile_avx2<T: Scalar, I: Index, const MR: usize, const W: usize>(
+        a: &CsrMatrix<T, I>,
+        rows: Range<usize>,
+        panel: &[T],
+        col_off: usize,
+        c: &DisjointSlice<'_, T>,
+        pitch: usize,
+    ) {
+        // SAFETY: contract forwarded verbatim.
+        unsafe { csr_tile::<T, I, MR, W>(a, rows, panel, col_off, c, pitch) }
+    }
+
+    /// # Safety
+    /// As [`csr_tile_avx2`], for [`super::ell_tile`].
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn ell_tile_avx2<T: Scalar, I: Index, const MR: usize, const W: usize>(
+        a: &EllMatrix<T, I>,
+        rows: Range<usize>,
+        panel: &[T],
+        col_off: usize,
+        c: &DisjointSlice<'_, T>,
+        pitch: usize,
+    ) {
+        // SAFETY: contract forwarded verbatim.
+        unsafe { ell_tile::<T, I, MR, W>(a, rows, panel, col_off, c, pitch) }
+    }
+
+    /// # Safety
+    /// As [`csr_tile_avx2`], for [`super::bcsr_tile`].
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn bcsr_tile_avx2<T: Scalar, I: Index, const W: usize>(
+        a: &BcsrMatrix<T, I>,
+        block_rows: Range<usize>,
+        panel: &[T],
+        col_off: usize,
+        c: &DisjointSlice<'_, T>,
+        pitch: usize,
+    ) {
+        // SAFETY: contract forwarded verbatim.
+        unsafe { bcsr_tile::<T, I, W>(a, block_rows, panel, col_off, c, pitch) }
+    }
+
+    /// # Safety
+    /// As [`csr_tile_avx2`], for [`super::csr_tile_any`].
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn csr_tile_any_avx2<T: Scalar, I: Index>(
+        a: &CsrMatrix<T, I>,
+        rows: Range<usize>,
+        panel: &[T],
+        w: usize,
+        col_off: usize,
+        c: &DisjointSlice<'_, T>,
+        pitch: usize,
+    ) {
+        // SAFETY: contract forwarded verbatim.
+        unsafe { csr_tile_any(a, rows, panel, w, col_off, c, pitch) }
+    }
+
+    /// # Safety
+    /// As [`csr_tile_avx2`], for [`super::ell_tile_any`].
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn ell_tile_any_avx2<T: Scalar, I: Index>(
+        a: &EllMatrix<T, I>,
+        rows: Range<usize>,
+        panel: &[T],
+        w: usize,
+        col_off: usize,
+        c: &DisjointSlice<'_, T>,
+        pitch: usize,
+    ) {
+        // SAFETY: contract forwarded verbatim.
+        unsafe { ell_tile_any(a, rows, panel, w, col_off, c, pitch) }
+    }
+
+    /// # Safety
+    /// As [`csr_tile_avx2`], for [`super::bcsr_tile_any`].
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn bcsr_tile_any_avx2<T: Scalar, I: Index>(
+        a: &BcsrMatrix<T, I>,
+        block_rows: Range<usize>,
+        panel: &[T],
+        w: usize,
+        col_off: usize,
+        c: &DisjointSlice<'_, T>,
+        pitch: usize,
+    ) {
+        // SAFETY: contract forwarded verbatim.
+        unsafe { bcsr_tile_any(a, block_rows, panel, w, col_off, c, pitch) }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+use simd_wrappers::{
+    bcsr_tile_any_avx2, bcsr_tile_avx2, csr_tile_any_avx2, csr_tile_avx2, ell_tile_any_avx2,
+    ell_tile_avx2,
+};
+
+// ---------------------------------------------------------------------------
+// Per-(rows × panel) drivers: dispatch width + MR (and the SIMD level)
+// onto the micro-kernels. Same SAFETY contract as the micro-kernels they
+// call; the AVX2 arms additionally rely on `level` having come from the
+// verified-probe path in `crate::simd`.
+// ---------------------------------------------------------------------------
+
+#[cfg_attr(not(target_arch = "x86_64"), allow(unused_variables))]
+#[allow(clippy::too_many_arguments)]
 unsafe fn csr_panel_tile<T: Scalar, I: Index>(
     a: &CsrMatrix<T, I>,
     packed: &PackedPanels<T>,
     p: usize,
     rows: Range<usize>,
     mr: usize,
+    level: SimdLevel,
     c: &DisjointSlice<'_, T>,
     pitch: usize,
 ) {
     let w = packed.width(p);
     let off = packed.panel_start(p);
     let panel = packed.panel(p);
+    #[cfg(target_arch = "x86_64")]
+    if level == SimdLevel::Avx2Fma {
+        // SAFETY (every arm): forwarded from this fn's contract; AVX2+FMA
+        // verified for this level.
+        let handled = match mr {
+            1 => {
+                dispatch_const_k!(w, unsafe csr_tile_avx2::<T, I, {1}>(a, rows.clone(), panel, off, c, pitch))
+            }
+            2 => {
+                dispatch_const_k!(w, unsafe csr_tile_avx2::<T, I, {2}>(a, rows.clone(), panel, off, c, pitch))
+            }
+            _ => {
+                dispatch_const_k!(w, unsafe csr_tile_avx2::<T, I, {4}>(a, rows.clone(), panel, off, c, pitch))
+            }
+        };
+        if !handled {
+            // SAFETY: forwarded; AVX2+FMA verified for this level.
+            unsafe { csr_tile_any_avx2(a, rows, panel, w, off, c, pitch) };
+        }
+        return;
+    }
     // SAFETY (for every dispatched call): forwarded from this fn's contract.
     let handled = match mr {
         1 => {
@@ -353,18 +502,41 @@ unsafe fn csr_panel_tile<T: Scalar, I: Index>(
     }
 }
 
+#[cfg_attr(not(target_arch = "x86_64"), allow(unused_variables))]
+#[allow(clippy::too_many_arguments)]
 unsafe fn ell_panel_tile<T: Scalar, I: Index>(
     a: &EllMatrix<T, I>,
     packed: &PackedPanels<T>,
     p: usize,
     rows: Range<usize>,
     mr: usize,
+    level: SimdLevel,
     c: &DisjointSlice<'_, T>,
     pitch: usize,
 ) {
     let w = packed.width(p);
     let off = packed.panel_start(p);
     let panel = packed.panel(p);
+    #[cfg(target_arch = "x86_64")]
+    if level == SimdLevel::Avx2Fma {
+        // SAFETY (every arm): forwarded; AVX2+FMA verified for this level.
+        let handled = match mr {
+            1 => {
+                dispatch_const_k!(w, unsafe ell_tile_avx2::<T, I, {1}>(a, rows.clone(), panel, off, c, pitch))
+            }
+            2 => {
+                dispatch_const_k!(w, unsafe ell_tile_avx2::<T, I, {2}>(a, rows.clone(), panel, off, c, pitch))
+            }
+            _ => {
+                dispatch_const_k!(w, unsafe ell_tile_avx2::<T, I, {4}>(a, rows.clone(), panel, off, c, pitch))
+            }
+        };
+        if !handled {
+            // SAFETY: forwarded; AVX2+FMA verified for this level.
+            unsafe { ell_tile_any_avx2(a, rows, panel, w, off, c, pitch) };
+        }
+        return;
+    }
     // SAFETY (for every dispatched call): forwarded from this fn's contract.
     let handled = match mr {
         1 => {
@@ -383,17 +555,32 @@ unsafe fn ell_panel_tile<T: Scalar, I: Index>(
     }
 }
 
+#[cfg_attr(not(target_arch = "x86_64"), allow(unused_variables))]
 unsafe fn bcsr_panel_tile<T: Scalar, I: Index>(
     a: &BcsrMatrix<T, I>,
     packed: &PackedPanels<T>,
     p: usize,
     block_rows: Range<usize>,
+    level: SimdLevel,
     c: &DisjointSlice<'_, T>,
     pitch: usize,
 ) {
     let w = packed.width(p);
     let off = packed.panel_start(p);
     let panel = packed.panel(p);
+    #[cfg(target_arch = "x86_64")]
+    if level == SimdLevel::Avx2Fma {
+        // SAFETY (both calls): forwarded; AVX2+FMA verified for this level.
+        let handled = dispatch_const_k!(
+            w,
+            unsafe bcsr_tile_avx2::<T, I>(a, block_rows.clone(), panel, off, c, pitch)
+        );
+        if !handled {
+            // SAFETY: forwarded; AVX2+FMA verified for this level.
+            unsafe { bcsr_tile_any_avx2(a, block_rows, panel, w, off, c, pitch) };
+        }
+        return;
+    }
     // SAFETY (both calls): forwarded from this fn's contract.
     let handled =
         dispatch_const_k!(w, unsafe bcsr_tile::<T, I>(a, block_rows.clone(), panel, off, c, pitch));
@@ -419,11 +606,12 @@ pub fn csr_spmm_tiled<T: Scalar, I: Index>(
     let pitch = packed.k();
     let rows = a.rows();
     let mr = cfg.mr();
+    let level = crate::simd::active_level();
     let c_slice = DisjointSlice::new(c.as_mut_slice());
     for p in 0..packed.n_panels() {
         // SAFETY: serial execution — this is the only writer, and each
         // (row, panel) window is visited exactly once.
-        unsafe { csr_panel_tile(a, packed, p, 0..rows, mr, &c_slice, pitch) };
+        unsafe { csr_panel_tile(a, packed, p, 0..rows, mr, level, &c_slice, pitch) };
     }
 }
 
@@ -438,10 +626,11 @@ pub fn ell_spmm_tiled<T: Scalar, I: Index>(
     let pitch = packed.k();
     let rows = a.rows();
     let mr = cfg.mr();
+    let level = crate::simd::active_level();
     let c_slice = DisjointSlice::new(c.as_mut_slice());
     for p in 0..packed.n_panels() {
         // SAFETY: serial execution, single writer (see csr_spmm_tiled).
-        unsafe { ell_panel_tile(a, packed, p, 0..rows, mr, &c_slice, pitch) };
+        unsafe { ell_panel_tile(a, packed, p, 0..rows, mr, level, &c_slice, pitch) };
     }
 }
 
@@ -454,10 +643,11 @@ pub fn bcsr_spmm_tiled<T: Scalar, I: Index>(
 ) {
     check_tiled_shapes(a.rows(), a.cols(), packed, c);
     let pitch = packed.k();
+    let level = crate::simd::active_level();
     let c_slice = DisjointSlice::new(c.as_mut_slice());
     for p in 0..packed.n_panels() {
         // SAFETY: serial execution, single writer (see csr_spmm_tiled).
-        unsafe { bcsr_panel_tile(a, packed, p, 0..a.block_rows(), &c_slice, pitch) };
+        unsafe { bcsr_panel_tile(a, packed, p, 0..a.block_rows(), level, &c_slice, pitch) };
     }
 }
 
@@ -507,6 +697,7 @@ pub fn csr_spmm_tiled_parallel<T: Scalar, I: Index>(
         return;
     }
     let mr = cfg.mr();
+    let level = crate::simd::active_level();
     let chunk = chunk_len(rows, threads, mr);
     let n_tiles = rows.div_ceil(chunk) * n_panels;
     let c_slice = DisjointSlice::new(c.as_mut_slice());
@@ -515,7 +706,7 @@ pub fn csr_spmm_tiled_parallel<T: Scalar, I: Index>(
             // SAFETY: tile (chunk, panel) owns C rows `rows` × the panel's
             // columns; distinct tiles differ in chunk (disjoint rows) or
             // panel (disjoint columns), so writers never overlap.
-            unsafe { csr_panel_tile(a, packed, p, rows, mr, &c_slice, pitch) };
+            unsafe { csr_panel_tile(a, packed, p, rows, mr, level, &c_slice, pitch) };
         });
     });
 }
@@ -537,13 +728,14 @@ pub fn ell_spmm_tiled_parallel<T: Scalar, I: Index>(
         return;
     }
     let mr = cfg.mr();
+    let level = crate::simd::active_level();
     let chunk = chunk_len(rows, threads, mr);
     let n_tiles = rows.div_ceil(chunk) * n_panels;
     let c_slice = DisjointSlice::new(c.as_mut_slice());
     pool.parallel_for(threads, 0..n_tiles, schedule, |tiles| {
         for_tiles(tiles, n_panels, chunk, rows, |rows, p| {
             // SAFETY: 2-D tile disjointness (see csr_spmm_tiled_parallel).
-            unsafe { ell_panel_tile(a, packed, p, rows, mr, &c_slice, pitch) };
+            unsafe { ell_panel_tile(a, packed, p, rows, mr, level, &c_slice, pitch) };
         });
     });
 }
@@ -565,13 +757,14 @@ pub fn bcsr_spmm_tiled_parallel<T: Scalar, I: Index>(
         return;
     }
     let chunk = chunk_len(block_rows, threads, 1);
+    let level = crate::simd::active_level();
     let n_tiles = block_rows.div_ceil(chunk) * n_panels;
     let c_slice = DisjointSlice::new(c.as_mut_slice());
     pool.parallel_for(threads, 0..n_tiles, schedule, |tiles| {
         for_tiles(tiles, n_panels, chunk, block_rows, |brows, p| {
             // SAFETY: 2-D tile disjointness; block-row chunks write
             // disjoint scalar-row sets (block rows partition the rows).
-            unsafe { bcsr_panel_tile(a, packed, p, brows, &c_slice, pitch) };
+            unsafe { bcsr_panel_tile(a, packed, p, brows, level, &c_slice, pitch) };
         });
     });
 }
@@ -684,6 +877,70 @@ mod tests {
         let mut c = DenseMatrix::from_fn(5, 8, |_, _| 3.0);
         csr_spmm_tiled_parallel(&pool, 2, Schedule::Static, &csr, &packed, cfg, &mut c);
         assert!(c.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn tiled_levels_agree() {
+        // Pin the panel drivers to each level directly (the public entry
+        // points read the process-global level): the AVX2 register tiles
+        // must match the portable ones to FMA rounding for every width
+        // class — const-dispatched, runtime fallback, and ragged panels.
+        let (coo, b) = fixture(29, 23, 40);
+        let csr = CsrMatrix::from_coo(&coo);
+        let ell = EllMatrix::from_coo(&coo);
+        let bcsr = BcsrMatrix::from_coo(&coo, 3).unwrap();
+        let expected = coo.spmm_reference_k(&b, 40);
+        for level in [SimdLevel::Scalar, crate::simd::hardware_level()] {
+            for (panel_w, mr) in [(8usize, 1usize), (8, 4), (16, 2), (5, 4), (40, 1)] {
+                let cfg = TileConfig::new(panel_w, mr);
+                let packed = cfg.pack(&b, 40);
+                let pitch = packed.k();
+                let mut c = DenseMatrix::from_fn(29, 40, |_, _| 1.5);
+                let c_slice = DisjointSlice::new(c.as_mut_slice());
+                for p in 0..packed.n_panels() {
+                    // SAFETY: serial, single writer, each window once.
+                    unsafe {
+                        csr_panel_tile(&csr, &packed, p, 0..29, cfg.mr(), level, &c_slice, pitch)
+                    };
+                }
+                assert!(
+                    c.max_abs_diff(&expected) < 1e-12,
+                    "csr {level:?} w={panel_w} mr={mr}"
+                );
+                let mut c = DenseMatrix::from_fn(29, 40, |_, _| -2.0);
+                let c_slice = DisjointSlice::new(c.as_mut_slice());
+                for p in 0..packed.n_panels() {
+                    // SAFETY: as above.
+                    unsafe {
+                        ell_panel_tile(&ell, &packed, p, 0..29, cfg.mr(), level, &c_slice, pitch)
+                    };
+                }
+                assert!(
+                    c.max_abs_diff(&expected) < 1e-12,
+                    "ell {level:?} w={panel_w} mr={mr}"
+                );
+                let mut c = DenseMatrix::from_fn(29, 40, |_, _| 4.0);
+                let c_slice = DisjointSlice::new(c.as_mut_slice());
+                for p in 0..packed.n_panels() {
+                    // SAFETY: as above.
+                    unsafe {
+                        bcsr_panel_tile(
+                            &bcsr,
+                            &packed,
+                            p,
+                            0..bcsr.block_rows(),
+                            level,
+                            &c_slice,
+                            pitch,
+                        )
+                    };
+                }
+                assert!(
+                    c.max_abs_diff(&expected) < 1e-12,
+                    "bcsr {level:?} w={panel_w} mr={mr}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -23,9 +23,11 @@
 
 #![warn(missing_docs)]
 
+mod partition;
 mod pool;
 mod schedule;
 
+pub use partition::balanced_partition;
 pub use pool::ThreadPool;
 pub use schedule::Schedule;
 

@@ -1,0 +1,146 @@
+//! Work-balanced static partitioning.
+//!
+//! `Schedule::Static` splits an iteration range into equal *counts* of
+//! iterations, which is the known imbalance case for power-law matrices:
+//! a thread that draws the heavy rows does several times the arithmetic
+//! of its peers while every thread holds the barrier. When the per-prefix
+//! cost is known up front — for CSR, the `row_ptr` array *is* the nonzero
+//! prefix sum — a better static split is free: cut the range where the
+//! *cost* is even, not where the index is. This module implements that
+//! cut with one binary search per boundary; the result is a drop-in set
+//! of per-thread ranges for [`crate::ThreadPool::broadcast`].
+//!
+//! The prefix is taken as a closure (`prefix(i)` = total cost of `0..i`)
+//! rather than a slice so this crate needs no knowledge of matrix types:
+//! kernels pass `|i| row_ptr[i].as_usize()`.
+
+use std::ops::Range;
+
+/// Split `0..n` into `parts` contiguous ranges with near-equal prefix
+/// cost. `prefix` must be monotonically non-decreasing with
+/// `prefix(0) = 0`; `prefix(n)` is the total cost. Returns exactly
+/// `parts.max(1)` ranges (possibly empty ones when `parts > n` or when a
+/// single index carries more than a per-part share) that concatenate to
+/// `0..n` in order.
+pub fn balanced_partition(
+    n: usize,
+    parts: usize,
+    prefix: impl Fn(usize) -> usize,
+) -> Vec<Range<usize>> {
+    let parts = parts.max(1);
+    let total = prefix(n);
+    let mut bounds = Vec::with_capacity(parts + 1);
+    bounds.push(0usize);
+    for t in 1..parts {
+        let target = total * t / parts;
+        // Smallest i with prefix(i) >= target, found by binary search over
+        // the monotone prefix; clamp to keep bounds non-decreasing.
+        let mut lo = *bounds.last().expect("bounds never empty");
+        let mut hi = n;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if prefix(mid) < target {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        bounds.push(lo);
+    }
+    bounds.push(n);
+    bounds.windows(2).map(|w| w[0]..w[1]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prefix_of(costs: &[usize]) -> Vec<usize> {
+        let mut p = vec![0usize];
+        for &c in costs {
+            p.push(p.last().unwrap() + c);
+        }
+        p
+    }
+
+    fn check_covers(ranges: &[Range<usize>], n: usize) {
+        let mut pos = 0usize;
+        for r in ranges {
+            assert_eq!(r.start, pos, "ranges must concatenate in order");
+            assert!(r.end >= r.start);
+            pos = r.end;
+        }
+        assert_eq!(pos, n);
+    }
+
+    #[test]
+    fn uniform_costs_split_like_static() {
+        let costs = vec![2usize; 100];
+        let p = prefix_of(&costs);
+        let ranges = balanced_partition(100, 4, |i| p[i]);
+        check_covers(&ranges, 100);
+        assert!(ranges.iter().all(|r| r.len() == 25), "{ranges:?}");
+    }
+
+    #[test]
+    fn power_law_costs_shrink_the_heavy_part() {
+        // One monster row (cost 1000) among 99 unit rows: the part holding
+        // it must stay small while the rest share the units.
+        let mut costs = vec![1usize; 100];
+        costs[10] = 1000;
+        let p = prefix_of(&costs);
+        let ranges = balanced_partition(100, 4, |i| p[i]);
+        check_covers(&ranges, 100);
+        let heavy = ranges.iter().find(|r| r.contains(&10)).unwrap();
+        let heavy_cost: usize = costs[heavy.start..heavy.end].iter().sum();
+        // Every other part's cost must be at most the per-part ideal.
+        for r in &ranges {
+            if r != heavy {
+                let c: usize = costs[r.start..r.end].iter().sum();
+                assert!(c <= p[100].div_ceil(4), "part {r:?} cost {c}");
+            }
+        }
+        assert!(heavy_cost >= 1000);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let ranges = balanced_partition(0, 4, |_| 0);
+        check_covers(&ranges, 0);
+        assert_eq!(ranges.len(), 4);
+
+        let ranges = balanced_partition(10, 1, |i| i);
+        assert_eq!(ranges, vec![0..10]);
+
+        let ranges = balanced_partition(10, 0, |i| i);
+        assert_eq!(ranges, vec![0..10]);
+
+        // All-zero costs: any split covering the range is fine.
+        let ranges = balanced_partition(10, 3, |_| 0);
+        check_covers(&ranges, 10);
+
+        // More parts than items: trailing parts may be empty.
+        let p = prefix_of(&[5, 5]);
+        let ranges = balanced_partition(2, 5, |i| p[i]);
+        check_covers(&ranges, 2);
+        assert_eq!(ranges.len(), 5);
+    }
+
+    #[test]
+    fn imbalance_beats_static_on_skew() {
+        // Quantitative: max part cost under the balanced split is strictly
+        // lower than under the equal-count split for a skewed profile.
+        let costs: Vec<usize> = (0..64).map(|i| if i < 8 { 100 } else { 1 }).collect();
+        let p = prefix_of(&costs);
+        let max_cost = |ranges: &[Range<usize>]| {
+            ranges
+                .iter()
+                .map(|r| costs[r.start..r.end].iter().sum::<usize>())
+                .max()
+                .unwrap()
+        };
+        let balanced = balanced_partition(64, 4, |i| p[i]);
+        let even: Vec<Range<usize>> = (0..4).map(|t| t * 16..(t + 1) * 16).collect();
+        assert!(max_cost(&balanced) < max_cost(&even));
+    }
+}

@@ -19,10 +19,16 @@ pub enum Schedule {
     /// (OpenMP `schedule(guided, min)`). Balances imbalance tolerance
     /// against cursor contention.
     Guided(usize),
+    /// Defer the choice to the loop: resolved at `parallel_for` time to
+    /// [`Schedule::dynamic_auto`] of the actual range length and thread
+    /// count, so callers stop hard-coding chunk guesses that only fit one
+    /// workload size.
+    Auto,
 }
 
 impl Schedule {
-    /// A sensible dynamic chunk for a loop of `n` iterations.
+    /// A sensible dynamic chunk for a loop of `n` iterations: ~16 chunks
+    /// per thread, so imbalance amortizes without cursor thrash.
     pub fn dynamic_auto(n: usize, threads: usize) -> Schedule {
         Schedule::Dynamic((n / (threads.max(1) * 16)).max(1))
     }
@@ -49,6 +55,10 @@ impl FromStr for Schedule {
             "static" => Ok(Schedule::Static),
             "dynamic" => Ok(Schedule::Dynamic(chunk(arg, 64)?.max(1))),
             "guided" => Ok(Schedule::Guided(chunk(arg, 1)?.max(1))),
+            "auto" => match arg {
+                None => Ok(Schedule::Auto),
+                Some(a) => Err(format!("`auto` takes no chunk (got `{a}`)")),
+            },
             other => Err(format!("unknown schedule `{other}`")),
         }
     }
@@ -65,6 +75,11 @@ pub(crate) struct WorkSource {
 
 impl WorkSource {
     pub(crate) fn new(range: Range<usize>, threads: usize, schedule: Schedule) -> Self {
+        // `Auto` resolves here, where the real loop length is known.
+        let schedule = match schedule {
+            Schedule::Auto => Schedule::dynamic_auto(range.len(), threads),
+            s => s,
+        };
         let start = range.start;
         WorkSource {
             range,
@@ -124,6 +139,8 @@ impl WorkSource {
                     }
                 }
             }
+            // Resolved to Dynamic in `WorkSource::new`.
+            Schedule::Auto => unreachable!("Auto is resolved at WorkSource construction"),
         }
     }
 }
@@ -208,6 +225,18 @@ mod tests {
         );
         assert!("fancy".parse::<Schedule>().is_err());
         assert!("dynamic,x".parse::<Schedule>().is_err());
+        assert_eq!("auto".parse::<Schedule>().unwrap(), Schedule::Auto);
+        assert_eq!(" AUTO ".trim().parse::<Schedule>().unwrap(), Schedule::Auto);
+        assert!("auto,4".parse::<Schedule>().is_err());
+    }
+
+    #[test]
+    fn auto_resolves_to_dynamic_auto_and_covers() {
+        for (n, t) in [(0usize, 4usize), (7, 3), (1000, 4), (100, 150)] {
+            let s = WorkSource::new(0..n, t, Schedule::Auto);
+            assert_eq!(s.schedule, Schedule::dynamic_auto(n, t), "n={n} t={t}");
+            assert!(covers_exactly(drain(&s, t), 0..n), "n={n} t={t}");
+        }
     }
 
     #[test]

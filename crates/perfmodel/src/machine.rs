@@ -36,6 +36,13 @@ pub struct MachineProfile {
     /// fixed-shape block loops) while Milan slightly prefers the
     /// long-stream formats.
     pub blocked_simd_bonus: f64,
+    /// FP64 lanes of one vector register (NEON = 2, AVX2 = 4). This is
+    /// what the lane-width-aware SELL-C-σ construction and the tiled
+    /// engine's register-blocking heuristic key off.
+    pub simd_lanes_f64: usize,
+    /// FLOPs per lane per cycle the vector FMA pipes sustain on SpMM's
+    /// gather-fed inner loop (2.0 = one fused multiply-add per cycle).
+    pub simd_flops_per_lane_cycle: f64,
 }
 
 impl MachineProfile {
@@ -58,6 +65,9 @@ impl MachineProfile {
             fork_join_overhead_us: 12.0,
             smt_efficiency: 0.0,
             blocked_simd_bonus: 1.6,
+            // Neoverse V2: 4 × 128-bit NEON pipes; 2 FP64 lanes per register.
+            simd_lanes_f64: 2,
+            simd_flops_per_lane_cycle: 2.0,
         }
     }
 
@@ -84,6 +94,9 @@ impl MachineProfile {
             fork_join_overhead_us: 9.0,
             smt_efficiency: 0.28,
             blocked_simd_bonus: 0.85,
+            // Zen 3: 256-bit AVX2 + FMA; 4 FP64 lanes per register.
+            simd_lanes_f64: 4,
+            simd_flops_per_lane_cycle: 2.0,
         }
     }
 
@@ -107,6 +120,9 @@ impl MachineProfile {
             fork_join_overhead_us: 15.0,
             smt_efficiency: 0.0,
             blocked_simd_bonus: 1.0,
+            // The container advertises AVX2 + FMA: 4 FP64 lanes.
+            simd_lanes_f64: 4,
+            simd_flops_per_lane_cycle: 2.0,
         }
     }
 
@@ -118,6 +134,13 @@ impl MachineProfile {
     /// Peak FP64 GFLOP/s of one core.
     pub fn core_peak_gflops(&self) -> f64 {
         self.clock_ghz * self.flops_per_cycle
+    }
+
+    /// Peak FP64 GFLOP/s of one core's vector pipes when the kernel keeps
+    /// them fed (the SIMD micro-kernels' ceiling; the scalar ceiling is
+    /// [`MachineProfile::core_peak_gflops`]).
+    pub fn vector_peak_gflops(&self) -> f64 {
+        self.clock_ghz * self.simd_lanes_f64 as f64 * self.simd_flops_per_lane_cycle
     }
 }
 
@@ -151,6 +174,22 @@ mod tests {
             assert!(m.l1d_bytes < m.l2_bytes, "{}", m.name);
             assert!(m.l2_bytes < m.llc_bytes, "{}", m.name);
         }
+    }
+
+    #[test]
+    fn vector_peak_exceeds_scalar_sustained() {
+        // The vector ceiling (lanes × FMA rate) must sit above the
+        // gather-fed scalar sustained rate on every profile, and the x86
+        // profiles' wider registers must out-peak NEON at equal clocks.
+        for m in [
+            MachineProfile::grace_hopper(),
+            MachineProfile::aries_milan(),
+            MachineProfile::container_host(),
+        ] {
+            assert!(m.vector_peak_gflops() > m.core_peak_gflops(), "{}", m.name);
+        }
+        assert_eq!(MachineProfile::grace_hopper().simd_lanes_f64, 2);
+        assert_eq!(MachineProfile::aries_milan().simd_lanes_f64, 4);
     }
 
     #[test]

@@ -105,11 +105,14 @@ pub fn select_tile_shape(
     // Register rows: MR > 1 keeps MR accumulator rows live at once, which
     // only pays while the MR × panel_w tile still fits the register file
     // (host sweeps: past ~32 f64 of accumulator, one row at a time wins).
-    // Degenerate row counts get smaller tiles.
-    let row_block = match (workload.rows, panel_w) {
-        (0..=1, _) => 1,
-        (2..=3, _) => 2,
-        (_, 0..=8) => 4,
+    // The cap is expressed in vector registers — 4 rows × 2 registers per
+    // row — so wider-lane machines tolerate proportionally wider panels
+    // before spilling. Degenerate row counts get smaller tiles.
+    let mr_width_cap = 2 * machine.simd_lanes_f64.max(4);
+    let row_block = match workload.rows {
+        0..=1 => 1,
+        2..=3 => 2,
+        _ if panel_w <= mr_width_cap => 4,
         _ => 1,
     };
 
