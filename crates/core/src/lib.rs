@@ -51,6 +51,7 @@ mod index;
 mod properties;
 mod scalar;
 mod sell;
+pub mod traffic;
 mod verify;
 
 pub use bcsr::BcsrMatrix;
@@ -68,6 +69,7 @@ pub use index::Index;
 pub use properties::MatrixProperties;
 pub use scalar::Scalar;
 pub use sell::SellMatrix;
+pub use traffic::Traffic;
 pub use verify::{max_abs_error, max_rel_error, suggested_tolerance, verify, VerifyError};
 
 use std::fmt;

@@ -192,6 +192,7 @@ pub fn launch<F>(
 where
     F: FnMut(usize, &mut Tracer),
 {
+    let _span = spmm_trace::span!("gpu_launch");
     let threads = config.threads();
     let warp = device.warp_size;
     let total_warps = threads.div_ceil(warp).max(1);
@@ -237,6 +238,24 @@ where
     let time_compute = cost.executed_flops as f64 / (peak_flops * utilization);
     let time_s = device.launch_overhead_us * 1e-6
         + time_mem.max(time_compute) * cost.runtime_penalty.max(1.0);
+
+    if spmm_trace::enabled() {
+        spmm_trace::counter("gpusim.launches").inc();
+        spmm_trace::counter("gpusim.dram_bytes").add(dram_bytes as u64);
+        spmm_trace::gauge("gpusim.occupancy_pct").set((occupancy * 100.0) as i64);
+        // Memory-stall proxy: every sector past one per warp memory
+        // instruction serializes the warp, scaled up from the sample.
+        let stalls = tracer
+            .sampled_sectors
+            .saturating_sub(tracer.sampled_instructions) as f64
+            * scale;
+        spmm_trace::counter("gpusim.warp_mem_stalls").add(stalls as u64);
+        if tracer.sampled_instructions > 0 {
+            spmm_trace::histogram("gpusim.sectors_per_instruction_x100").record(
+                (100.0 * tracer.sampled_sectors as f64 / tracer.sampled_instructions as f64) as u64,
+            );
+        }
+    }
 
     LaunchStats {
         time_s,

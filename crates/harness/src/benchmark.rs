@@ -7,9 +7,12 @@ use spmm_core::{
     suggested_tolerance, verify, CooMatrix, DenseMatrix, MatrixProperties, VerifyError,
 };
 use spmm_gpusim::{DeviceProfile, LaunchStats};
+use spmm_kernels::kernel_api::{kernel_for, CpuBackend, CpuVariant, ExecContext};
 use spmm_kernels::FormatData;
 use spmm_parallel::global_pool;
+use spmm_perfmodel::{attainment, MachineProfile, SpmmWorkload};
 
+use crate::errors::HarnessError;
 use crate::params::Params;
 use crate::report::Report;
 use crate::timer::{time_once, time_repeated};
@@ -146,9 +149,9 @@ pub trait SpmmBenchmark {
     fn name(&self) -> String;
     /// Build the format-specific representation from the loaded COO
     /// matrix. Called once, timed as "formatting time".
-    fn format(&mut self) -> Result<(), String>;
+    fn format(&mut self) -> Result<(), HarnessError>;
     /// One multiplication pass. Called `-n` times, averaged.
-    fn calc(&mut self) -> Result<(), String>;
+    fn calc(&mut self) -> Result<(), HarnessError>;
     /// Check the last result against the COO reference multiply.
     fn verify(&self) -> Result<(), VerifyError>;
     /// Useful FLOPs of one `calc()` (the MFLOPS numerator).
@@ -198,13 +201,17 @@ impl SuiteBenchmark {
 
     /// Load the matrix named by `params.matrix` (suite name or `.mtx`
     /// path) and assemble the benchmark.
-    pub fn from_params(params: Params) -> Result<Self, String> {
+    pub fn from_params(params: Params) -> Result<Self, HarnessError> {
         let coo = if params.matrix.ends_with(".mtx") {
-            spmm_matgen::mm::read_matrix_market_file(&params.matrix)
-                .map_err(|e| format!("cannot read {}: {e}", params.matrix))?
+            spmm_matgen::mm::read_matrix_market_file(&params.matrix).map_err(|e| {
+                HarnessError::MatrixLoad {
+                    path: params.matrix.clone(),
+                    detail: e.to_string(),
+                }
+            })?
         } else {
             spmm_matgen::by_name(&params.matrix)
-                .ok_or_else(|| format!("unknown suite matrix `{}`", params.matrix))?
+                .ok_or_else(|| HarnessError::UnknownMatrix(params.matrix.clone()))?
                 .generate(params.scale, params.seed)
         };
         let name = params.matrix.clone();
@@ -226,7 +233,7 @@ impl SuiteBenchmark {
         &self.c
     }
 
-    fn gpu_calc(&mut self, device: &DeviceProfile) -> Result<(), String> {
+    fn gpu_calc(&mut self, device: &DeviceProfile) -> Result<(), HarnessError> {
         let data = self.data.as_ref().expect("format() ran");
         let k = self.params.k;
         let stats = match (&self.params.variant, data) {
@@ -237,10 +244,10 @@ impl SuiteBenchmark {
                 spmm_gpusim::vendor::cusparse_coo_spmm(device, m, &self.b, k, &mut self.c)
             }
             (Variant::Vendor, _) => {
-                return Err(format!(
+                return Err(HarnessError::Unsupported(format!(
                     "cuSPARSE provides only COO and CSR SpMM (asked for {})",
                     data.format()
-                ))
+                )))
             }
             (_, FormatData::Coo(m)) => {
                 spmm_gpusim::kernels::coo_spmm_gpu(device, m, &self.b, k, &mut self.c)
@@ -257,7 +264,12 @@ impl SuiteBenchmark {
             (_, FormatData::Sell(m)) => {
                 spmm_gpusim::kernels::sell_spmm_gpu(device, m, &self.b, k, &mut self.c)
             }
-            (_, other) => return Err(format!("no GPU kernel for format {}", other.format())),
+            (_, other) => {
+                return Err(HarnessError::Unsupported(format!(
+                    "no GPU kernel for format {}",
+                    other.format()
+                )))
+            }
         };
         self.last_gpu_stats = Some(stats);
         Ok(())
@@ -265,8 +277,11 @@ impl SuiteBenchmark {
 }
 
 impl SuiteBenchmark {
-    fn spmv_calc(&mut self) -> Result<(), String> {
-        let data = self.data.as_ref().ok_or("calc() before format()")?;
+    fn spmv_calc(&mut self) -> Result<(), HarnessError> {
+        let data = self
+            .data
+            .as_ref()
+            .ok_or_else(|| HarnessError::Calc("calc() before format()".into()))?;
         let ok = match (self.params.backend, self.params.variant) {
             (Backend::Serial, Variant::Normal) => data.spmv_serial(&self.x, &mut self.y),
             (Backend::Serial, Variant::Simd) => {
@@ -280,12 +295,21 @@ impl SuiteBenchmark {
                 &mut self.y,
             ),
             (Backend::GpuH100 | Backend::GpuA100, _) => {
-                return Err("SpMV has no GPU kernels (SpMM only)".to_string())
+                return Err(HarnessError::Unsupported(
+                    "SpMV has no GPU kernels (SpMM only)".to_string(),
+                ))
             }
-            _ => return Err("SpMV supports only the normal and simd variants".to_string()),
+            _ => {
+                return Err(HarnessError::Unsupported(
+                    "SpMV supports only the normal and simd variants".to_string(),
+                ))
+            }
         };
         if !ok {
-            return Err(format!("{} has no SpMV kernel", self.params.format));
+            return Err(HarnessError::Unsupported(format!(
+                "{} has no SpMV kernel",
+                self.params.format
+            )));
         }
         Ok(())
     }
@@ -303,9 +327,8 @@ impl SpmmBenchmark for SuiteBenchmark {
         )
     }
 
-    fn format(&mut self) -> Result<(), String> {
-        let data = FormatData::from_coo(self.params.format, &self.coo, self.params.block)
-            .map_err(|e| format!("formatting failed: {e}"))?;
+    fn format(&mut self) -> Result<(), HarnessError> {
+        let data = FormatData::from_coo(self.params.format, &self.coo, self.params.block)?;
         // The transpose variant's pre-pass belongs to formatting time.
         if self.params.variant == Variant::TransposedB {
             self.bt = Some(self.b.transposed());
@@ -314,7 +337,7 @@ impl SpmmBenchmark for SuiteBenchmark {
         Ok(())
     }
 
-    fn calc(&mut self) -> Result<(), String> {
+    fn calc(&mut self) -> Result<(), HarnessError> {
         let k = self.params.k;
         if self.params.op == Op::Spmv {
             return self.spmv_calc();
@@ -322,53 +345,39 @@ impl SpmmBenchmark for SuiteBenchmark {
         if let Some(device) = self.params.backend.device() {
             return self.gpu_calc(&device);
         }
-        let data = self.data.as_ref().ok_or("calc() before format()")?;
-        let pool = global_pool();
-        let (threads, sched) = (self.params.threads, self.params.schedule);
-        let ok = match (self.params.backend, self.params.variant) {
-            (Backend::Serial, Variant::Normal) => {
-                data.spmm_serial(&self.b, k, &mut self.c);
-                true
-            }
-            (Backend::Serial, Variant::TransposedB) => {
-                let bt = self
-                    .bt
-                    .as_ref()
-                    .ok_or("transposed variant needs format()")?;
-                data.spmm_serial_bt(bt, k, &mut self.c)
-            }
-            (Backend::Serial, Variant::FixedK) => data.spmm_serial_fixed_k(&self.b, k, &mut self.c),
-            (Backend::Parallel, Variant::Normal) => {
-                data.spmm_parallel(pool, threads, sched, &self.b, k, &mut self.c);
-                true
-            }
-            (Backend::Parallel, Variant::TransposedB) => {
-                let bt = self
-                    .bt
-                    .as_ref()
-                    .ok_or("transposed variant needs format()")?;
-                data.spmm_parallel_bt(pool, threads, sched, bt, k, &mut self.c)
-            }
-            (Backend::Parallel, Variant::FixedK) => {
-                data.spmm_parallel_fixed_k(pool, threads, sched, &self.b, k, &mut self.c)
-            }
-            (Backend::Serial, Variant::Simd) => data.spmm_serial_simd(&self.b, k, &mut self.c),
-            (Backend::Parallel, Variant::Simd) => {
-                return Err("the simd variant is serial-only (use the tiled path)".to_string())
-            }
-            (_, Variant::Vendor) => {
-                return Err("the cuSPARSE variant requires a GPU backend".to_string())
-            }
-            (Backend::GpuH100 | Backend::GpuA100, _) => unreachable!("handled above"),
+        let data = self
+            .data
+            .as_ref()
+            .ok_or_else(|| HarnessError::Calc("calc() before format()".into()))?;
+        // CPU SpMM goes through the typed kernel API: one trait object per
+        // (backend, variant) pair instead of the old free-method match.
+        let backend = match self.params.backend {
+            Backend::Serial => CpuBackend::Serial,
+            Backend::Parallel => CpuBackend::Parallel,
+            Backend::GpuH100 | Backend::GpuA100 => unreachable!("handled above"),
         };
-        if !ok {
-            return Err(format!(
-                "{}/{} has no {} kernel",
-                self.params.format,
-                self.params.backend.name(),
-                self.params.variant.name()
-            ));
-        }
+        let variant = match self.params.variant {
+            Variant::Normal => CpuVariant::Normal,
+            Variant::TransposedB => CpuVariant::TransposedB,
+            Variant::FixedK => CpuVariant::FixedK,
+            Variant::Simd => CpuVariant::Simd,
+            Variant::Vendor => {
+                return Err(HarnessError::Unsupported(
+                    "the cuSPARSE variant requires a GPU backend".to_string(),
+                ))
+            }
+        };
+        let kernel = kernel_for::<f64, usize>(backend, variant).ok_or_else(|| {
+            HarnessError::Unsupported(
+                "the simd variant is serial-only (use the tiled path)".to_string(),
+            )
+        })?;
+        let ctx = ExecContext {
+            pool: global_pool(),
+            threads: self.params.threads,
+            schedule: self.params.schedule,
+        };
+        kernel.execute(data, &self.b, self.bt.as_ref(), k, &ctx, &mut self.c)?;
         Ok(())
     }
 
@@ -395,17 +404,31 @@ impl SpmmBenchmark for SuiteBenchmark {
 
 /// Run a benchmark end to end: format (timed), `-n` timed calculation
 /// calls, verification, report assembly. This is the suite's main loop.
-pub fn run(bench: &mut SuiteBenchmark) -> Result<Report, String> {
+///
+/// Each phase runs under a telemetry span (`format` / `warmup` /
+/// `calc[variant]` / `verify`), and the spans this run produced are folded
+/// into the report's phase tree when tracing is on.
+pub fn run(bench: &mut SuiteBenchmark) -> Result<Report, HarnessError> {
     let params = bench.params.clone();
-    let (fmt_result, format_time) = time_once(|| bench.format());
+    let spans_before = spmm_trace::span_count();
+
+    let (fmt_result, format_time) = time_once(|| {
+        let _span = spmm_trace::span!("format");
+        bench.format()
+    });
     fmt_result?;
 
     // First call outside the timing loop validates the combination (and
     // warms the pool), mirroring the suite's untimed warm-up.
-    bench.calc()?;
+    {
+        let _span = spmm_trace::span!("warmup");
+        bench.calc()?;
+    }
 
-    let mut calc_err: Option<String> = None;
+    let variant_tag = params.variant.name();
+    let mut calc_err: Option<HarnessError> = None;
     let timings = time_repeated(params.iterations, || {
+        let _span = spmm_trace::span!("calc", variant_tag);
         if let Err(e) = bench.calc() {
             calc_err = Some(e);
         }
@@ -423,10 +446,11 @@ pub fn run(bench: &mut SuiteBenchmark) -> Result<Report, String> {
     let verification = if params.no_verify {
         None
     } else {
+        let _span = spmm_trace::span!("verify");
         Some(bench.verify())
     };
 
-    Ok(Report::new(
+    let mut report = Report::new(
         bench,
         &params,
         format_time,
@@ -434,7 +458,52 @@ pub fn run(bench: &mut SuiteBenchmark) -> Result<Report, String> {
         timings,
         simulated,
         verification,
-    ))
+    );
+
+    // Roofline attainment: join the measured rate against the analytic
+    // model for host-measured CPU SpMM runs (the model has no SpMV or
+    // simulated-GPU roofline).
+    if params.op == Op::Spmm && !simulated {
+        if let Some(data) = bench.data() {
+            let props = bench.properties();
+            let workload = SpmmWorkload::new(
+                data.format(),
+                data.rows(),
+                data.cols(),
+                data.nnz(),
+                data.stored_entries(),
+                props.max_row_nnz,
+                data.memory_footprint(),
+                params.block,
+                params.k,
+            )
+            .with_col_window(props.bandwidth.max(1));
+            let threads = match params.backend {
+                Backend::Parallel => params.threads,
+                _ => 1,
+            };
+            let a = attainment(
+                &MachineProfile::container_host(),
+                &workload,
+                threads,
+                report.mflops,
+            );
+            report.modeled_mflops = Some(a.modeled_mflops);
+            report.attained_fraction = Some(a.attained_fraction);
+            report.arithmetic_intensity = Some(a.arithmetic_intensity);
+        }
+    }
+
+    // Fold this run's spans into a phase tree for the report.
+    if spmm_trace::enabled() {
+        let events = spmm_trace::spans_since(spans_before);
+        if !events.is_empty() {
+            let tree = spmm_trace::phase_tree(&events);
+            report.phase_tree = Some(spmm_trace::render_phase_tree(&tree));
+        }
+    }
+
+    Ok(report)
 }
 
 #[cfg(test)]

@@ -25,15 +25,16 @@
 use std::fs;
 use std::path::PathBuf;
 
-use spmm_core::{max_rel_error, CsrMatrix, DenseMatrix, SellMatrix, SparseFormat};
+use spmm_core::{max_rel_error, CsrMatrix, DenseMatrix, MemoryFootprint, SellMatrix, SparseFormat};
 use spmm_harness::json::Json;
-use spmm_harness::studies::{study11, study12, MatrixEntry};
+use spmm_harness::studies::{host_workload, study11, study12, MatrixEntry};
 use spmm_harness::timer::time_repeated;
 use spmm_kernels::dispatch::SELL_SIGMA;
 use spmm_kernels::simd::{self, SimdLevel};
 use spmm_kernels::tiled::TileConfig;
 use spmm_kernels::FormatData;
-use spmm_perfmodel::MachineProfile;
+use spmm_perfmodel::{attainment, simd_speedup, MachineProfile, SpmmWorkload};
+use spmm_trace::TraceLevel;
 
 /// One banded FEM replica, one banded structural replica, one heavy-row
 /// (power-law tail) replica — the two classes the paper's §6.3.2 blocking
@@ -42,6 +43,11 @@ const MATRICES: [&str; 3] = ["af23560", "cant", "torso1"];
 const KS: [usize; 3] = [128, 256, 512];
 
 fn main() {
+    // The snapshot is the suite's timing record: tracing must be off so
+    // every probe reduces to one relaxed load (the overhead block below
+    // measures exactly that).
+    spmm_trace::set_trace_level(TraceLevel::Off);
+
     let mut scale = 0.15;
     let mut iters = 5usize;
     let mut seed = 42u64;
@@ -98,6 +104,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut worst: Option<(String, f64)> = None;
     let mut worst_simd: Option<(String, f64)> = None;
+    let mut worst_overhead: Option<(String, f64)> = None;
 
     for name in MATRICES {
         if !only.is_empty() && !only.iter().any(|o| o == name) {
@@ -216,6 +223,68 @@ fn main() {
             let sell_scalar = mflops(t_sell_scalar);
             let sell_simd = mflops(t_sell_simd);
 
+            // Disabled-telemetry overhead: the instrumented dispatch
+            // entry points against the raw kernels they wrap, with
+            // tracing off so every probe is one relaxed load. Per-call
+            // A/B interleaving (one instrumented call, one raw call,
+            // repeat) makes both minima sample the same interference
+            // windows on this shared host; comparing two separately
+            // timed loops swings by several percent run-to-run. Clamped
+            // at zero — dispatch can measure faster than raw within
+            // noise.
+            // The raw side is the `_unprobed` dispatch twin — the same
+            // function minus the probes, monomorphized at the same site —
+            // and both sides write the *same* output buffer (through a
+            // RefCell, since the closures each need `&mut`). Comparing
+            // against the per-format kernel or a second buffer instead
+            // measures instantiation-site codegen and page placement,
+            // which register as a phantom few-percent "overhead".
+            let shared_c = std::cell::RefCell::new(DenseMatrix::zeros(entry.coo.rows(), k));
+            // Worst-of-all-points is the reported statistic, so each
+            // point's estimate needs to be tight: 8·iters pairs.
+            let reps = (8 * iters).max(24);
+            let overhead_flat = ab_overhead(
+                reps,
+                || data.spmm_serial(&b, k, &mut shared_c.borrow_mut()),
+                || data.spmm_serial_unprobed(&b, k, &mut shared_c.borrow_mut()),
+            );
+            let overhead_simd = ab_overhead(
+                reps,
+                || {
+                    data.spmm_serial_simd(&b, k, &mut shared_c.borrow_mut());
+                },
+                || {
+                    data.spmm_serial_simd_unprobed(&b, k, &mut shared_c.borrow_mut());
+                },
+            );
+            let overhead = overhead_flat.max(overhead_simd);
+            if worst_overhead.as_ref().is_none_or(|(_, w)| overhead > *w) {
+                worst_overhead = Some((format!("{name} k={k}"), overhead));
+            }
+
+            // Roofline attainment: measured rates against the analytic
+            // model. The SIMD fractions divide by modeled × simd_speedup
+            // (the model's vectorized roofline for the same workload).
+            let workload = host_workload(&data, &entry, block, k);
+            let att_flat = attainment(&machine, &workload, 1, flat);
+            let att_tiled = attainment(&machine, &workload, 1, tiled);
+            let csr_vec_roof = att_flat.modeled_mflops * simd_speedup(&machine, &workload);
+            let sell_workload = SpmmWorkload::new(
+                SparseFormat::Sell,
+                sell.rows(),
+                sell.cols(),
+                sell.nnz(),
+                sell.padded_len(),
+                entry.props.max_row_nnz,
+                sell.memory_footprint(),
+                1,
+                k,
+            )
+            .with_col_window(entry.props.bandwidth.max(1));
+            let att_sell = attainment(&machine, &sell_workload, 1, sell_scalar);
+            let sell_vec_roof = att_sell.modeled_mflops * simd_speedup(&machine, &sell_workload);
+            let frac = |measured: f64, roof: f64| if roof > 0.0 { measured / roof } else { 0.0 };
+
             if sweep {
                 // Tuning view: every supported width (and the full-width
                 // panel) at MR 1 and 4, to sanity-check the selection.
@@ -288,13 +357,34 @@ fn main() {
                     .with("speedup_tiled_vs_const", vs_const)
                     .with("speedup_simd_csr", simd_csr)
                     .with("speedup_simd_sell", simd_sell)
-                    .with("max_rel_error", err),
+                    .with("max_rel_error", err)
+                    .with(
+                        "attainment",
+                        Json::obj()
+                            .with("modeled_mflops", att_flat.modeled_mflops)
+                            .with("arithmetic_intensity", att_flat.arithmetic_intensity)
+                            .with("memory_bound", att_flat.memory_bound)
+                            .with("csr_flat", att_flat.attained_fraction)
+                            .with("csr_tiled", att_tiled.attained_fraction)
+                            .with("csr_simd", frac(csr_simd, csr_vec_roof))
+                            .with("sell_scalar", att_sell.attained_fraction)
+                            .with("sell_simd", frac(sell_simd, sell_vec_roof)),
+                    )
+                    .with(
+                        "telemetry_overhead",
+                        Json::obj()
+                            .with("flat_fraction", overhead_flat)
+                            .with("simd_fraction", overhead_simd)
+                            .with("overhead_ok", overhead < 0.02),
+                    ),
             );
         }
     }
 
     let (worst_point, worst_speedup) = worst.expect("at least one measurement");
     let (worst_simd_point, worst_simd_speedup) = worst_simd.expect("at least one measurement");
+    let (worst_overhead_point, worst_overhead_frac) =
+        worst_overhead.expect("at least one measurement");
     let doc = Json::obj()
         .with("generated_by", "bench-snapshot")
         .with("host", machine.name)
@@ -312,15 +402,66 @@ fn main() {
                 .with("tiled_wins_everywhere", worst_speedup > 1.0)
                 .with("worst_simd_point", worst_simd_point.as_str())
                 .with("worst_simd_speedup", worst_simd_speedup)
-                .with("simd_wins_everywhere", worst_simd_speedup > 1.0),
+                .with("simd_wins_everywhere", worst_simd_speedup > 1.0)
+                .with(
+                    "worst_telemetry_overhead_point",
+                    worst_overhead_point.as_str(),
+                )
+                .with("worst_telemetry_overhead", worst_overhead_frac)
+                .with("telemetry_overhead_ok", worst_overhead_frac < 0.02),
         );
     fs::write(&out, doc.pretty() + "\n")
         .unwrap_or_else(|e| die(&format!("cannot write {out:?}: {e}")));
     eprintln!(
         "wrote {out:?}; worst tiled speedup {worst_speedup:.2}x at {worst_point}; \
-         worst simd speedup {worst_simd_speedup:.2}x at {worst_simd_point}",
+         worst simd speedup {worst_simd_speedup:.2}x at {worst_simd_point}; \
+         worst disabled-telemetry overhead {:.2}% at {worst_overhead_point}",
+        worst_overhead_frac * 100.0,
         out = out
     );
+}
+
+/// Interleaved A/B overhead estimate: `reps` adjacent (a, b) single-call
+/// pairs, each pair timed back-to-back, then the interquartile mean of
+/// the per-pair time ratios. On this shared host individual calls
+/// jitter by ±10–20% with slow drift, but adjacent calls see nearly the
+/// same conditions, so the *pair ratio* is the stable observable; the
+/// interquartile trim drops the pairs an interference window happened
+/// to split. (Ratio-of-minima and separately timed loops both swing by
+/// several percent run-to-run here — minima of noisy distributions
+/// don't converge at these sample counts.) Returns
+/// `max(iq_mean(t_a / t_b) - 1, 0)`.
+fn ab_overhead(reps: usize, mut a: impl FnMut(), mut b: impl FnMut()) -> f64 {
+    // One untimed call each: warm the instruction and data paths.
+    a();
+    b();
+    let mut ratios = Vec::with_capacity(reps);
+    for i in 0..reps {
+        // Alternate which side goes first: clock-frequency drift across
+        // a pair otherwise biases whichever side always runs earlier.
+        let (ta, tb) = if i % 2 == 0 {
+            let t0 = std::time::Instant::now();
+            a();
+            let ta = t0.elapsed();
+            let t0 = std::time::Instant::now();
+            b();
+            (ta, t0.elapsed())
+        } else {
+            let t0 = std::time::Instant::now();
+            b();
+            let tb = t0.elapsed();
+            let t0 = std::time::Instant::now();
+            a();
+            (t0.elapsed(), tb)
+        };
+        ratios.push(ta.as_secs_f64() / tb.as_secs_f64());
+    }
+    ratios.sort_by(f64::total_cmp);
+    let lo = ratios.len() / 4;
+    let hi = ratios.len() - lo;
+    let mid = &ratios[lo..hi];
+    let iq_mean = mid.iter().sum::<f64>() / mid.len() as f64;
+    (iq_mean - 1.0).max(0.0)
 }
 
 fn die(msg: &str) -> ! {

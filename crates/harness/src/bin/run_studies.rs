@@ -4,18 +4,23 @@
 //! prints terminal charts, and summarizes the headline comparisons. Use
 //! `--quick` for a fast smoke run or `--scale <f>` to size the suite.
 
+use std::cell::RefCell;
 use std::fs;
 use std::path::PathBuf;
 
+use spmm_harness::json::Json;
 use spmm_harness::studies::{
     load_suite, study1, study10, study11, study12, study2, study3, study3_1, study4, study5,
     study6, study7, study8, study9, table51, Arch, StudyContext, StudyResult,
 };
+use spmm_trace::{MetricsSnapshot, TraceLevel};
 
 fn main() {
     let mut ctx = StudyContext::default();
     let mut out = PathBuf::from("results");
     let mut charts = true;
+    let mut trace_out: Option<String> = None;
+    let mut trace_level: Option<TraceLevel> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -38,11 +43,29 @@ fn main() {
                 out = PathBuf::from(it.next().unwrap_or_else(|| die("--out needs a path")));
             }
             "--no-charts" => charts = false,
+            "--trace-out" => {
+                trace_out =
+                    Some(it.next().unwrap_or_else(|| die("--trace-out needs a path")).clone());
+            }
+            "--trace-level" => {
+                trace_level = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--trace-level takes off|spans|full")),
+                );
+            }
             other => die(&format!(
-                "unknown flag `{other}`\nusage: run-studies [--quick] [--scale f] [--seed n] [--out dir] [--no-charts]"
+                "unknown flag `{other}`\nusage: run-studies [--quick] [--scale f] [--seed n] [--out dir] [--no-charts] [--trace-out file.json] [--trace-level off|spans|full]"
             )),
         }
     }
+    // --trace-out implies span tracing, like spmm-bench.
+    let level = trace_level.unwrap_or(if trace_out.is_some() {
+        TraceLevel::Spans
+    } else {
+        TraceLevel::Off
+    });
+    spmm_trace::set_trace_level(level);
     // Study 9 requires a const-K instantiation.
     if !spmm_kernels::optimized::SUPPORTED_K.contains(&ctx.k) {
         ctx.k = 128;
@@ -63,6 +86,12 @@ fn main() {
     let arm = Arch::arm();
     let x86 = Arch::x86();
 
+    // With telemetry on, record each study's metrics delta: what the
+    // kernels did (calls, flops, bytes, tiles, chunks) between this emit
+    // and the previous one, keyed by study id.
+    let telemetry_on = spmm_trace::enabled();
+    let telemetry: RefCell<Vec<(String, Json)>> = RefCell::new(Vec::new());
+    let last_snapshot = RefCell::new(MetricsSnapshot::capture());
     let emit = |r: &StudyResult| {
         write(&out, &format!("{}.csv", r.id), &r.to_csv());
         write(&out, &format!("{}.json", r.id), &r.to_json());
@@ -71,6 +100,14 @@ fn main() {
             &format!("{}.svg", r.id),
             &spmm_harness::svg::study_svg(r),
         );
+        if telemetry_on {
+            let now = MetricsSnapshot::capture();
+            let delta = now.delta_since(&last_snapshot.borrow());
+            telemetry
+                .borrow_mut()
+                .push((r.id.clone(), spmm_harness::telemetry::metrics_json(&delta)));
+            *last_snapshot.borrow_mut() = now;
+        }
         if charts {
             println!("{}", r.render());
         } else {
@@ -167,6 +204,21 @@ fn main() {
         footprint_csv.push('\n');
     }
     write(&out, "memory_footprint.csv", &footprint_csv);
+
+    if telemetry_on {
+        let mut doc = Json::obj();
+        for (id, block) in telemetry.into_inner() {
+            doc = doc.with(&id, block);
+        }
+        write(&out, "telemetry.json", &doc.pretty());
+        eprintln!("wrote telemetry.json (per-study metric deltas)");
+    }
+    if let Some(path) = trace_out {
+        match spmm_harness::telemetry::flush_trace_to(&path) {
+            Ok(n) => eprintln!("wrote {n} trace events to {path}"),
+            Err(e) => die(&e.to_string()),
+        }
+    }
 
     eprintln!("done; results in {out:?}");
 }

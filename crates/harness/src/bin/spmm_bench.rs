@@ -35,6 +35,7 @@ fn main() {
             std::process::exit(2);
         }
     };
+    spmm_trace::set_trace_level(params.trace_level);
     if params.simd_scalar {
         // Pin the runtime-dispatched micro-kernels to their portable
         // scalar bodies (same effect as SPMM_SIMD=scalar).
@@ -67,6 +68,7 @@ fn main() {
             Some((t, report)) => {
                 println!("best thread count: {t}");
                 emit(&params, &report);
+                flush_trace(&params);
             }
             None => {
                 eprintln!("every thread count failed");
@@ -79,6 +81,7 @@ fn main() {
     match SuiteBenchmark::from_params(params.clone()).and_then(|mut b| run(&mut b)) {
         Ok(report) => {
             emit(&params, &report);
+            flush_trace(&params);
             if report.verified == Some(false) {
                 std::process::exit(1);
             }
@@ -86,6 +89,19 @@ fn main() {
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(1);
+        }
+    }
+}
+
+/// Write the chrome://tracing file if `--trace-out` asked for one.
+fn flush_trace(params: &Params) {
+    if let Some(path) = &params.trace_out {
+        match spmm_harness::telemetry::flush_trace_to(path) {
+            Ok(n) => eprintln!("wrote {n} trace events to {path}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
         }
     }
 }

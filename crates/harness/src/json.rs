@@ -232,6 +232,12 @@ impl From<Option<bool>> for Json {
     }
 }
 
+impl From<Option<f64>> for Json {
+    fn from(v: Option<f64>) -> Json {
+        v.map_or(Json::Null, Json::from)
+    }
+}
+
 impl<T: Into<Json>> From<Vec<T>> for Json {
     fn from(items: Vec<T>) -> Json {
         Json::Arr(items.into_iter().map(Into::into).collect())

@@ -13,6 +13,9 @@
 //!   (format × backend × variant) combination, and the timing loop;
 //! * [`report`] — FLOPS/MFLOPS/GFLOPS reporting with matrix properties,
 //!   CSV and JSON output;
+//! * [`errors`] — the typed [`errors::HarnessError`] the whole API speaks;
+//! * [`telemetry`] — sinks for the `spmm-trace` observability layer
+//!   (chrome://tracing files, metrics JSON blocks);
 //! * [`chart`] — ASCII bar rendering for the terminal;
 //! * [`studies`] — one driver per study of the paper's Chapter 5, each
 //!   regenerating the corresponding figure's data series.
@@ -26,13 +29,16 @@
 
 pub mod benchmark;
 pub mod chart;
+pub mod errors;
 pub mod json;
 pub mod params;
 pub mod report;
 pub mod studies;
 pub mod svg;
+pub mod telemetry;
 pub mod timer;
 
-pub use benchmark::{Backend, SpmmBenchmark, SuiteBenchmark, Variant};
-pub use params::Params;
+pub use benchmark::{Backend, Op, SpmmBenchmark, SuiteBenchmark, Variant};
+pub use errors::HarnessError;
+pub use params::{Params, ParamsBuilder};
 pub use report::Report;

@@ -66,6 +66,17 @@ pub struct Report {
     pub verified: Option<bool>,
     /// Formatted representation payload bytes.
     pub memory_footprint: usize,
+
+    /// Roofline-model MFLOPS for this (matrix, format, threads) point
+    /// (host-measured CPU SpMM runs only).
+    pub modeled_mflops: Option<f64>,
+    /// `mflops / modeled_mflops`: how much of the modelled roofline the
+    /// measured kernel attained.
+    pub attained_fraction: Option<f64>,
+    /// Modelled arithmetic intensity, useful FLOPs per byte of traffic.
+    pub arithmetic_intensity: Option<f64>,
+    /// Rendered span phase tree of the run (tracing enabled only).
+    pub phase_tree: Option<String>,
 }
 
 impl Report {
@@ -109,6 +120,10 @@ impl Report {
             simulated,
             verified: verification.map(|v| v.is_ok()),
             memory_footprint: bench.data().map_or(0, |d| d.memory_footprint()),
+            modeled_mflops: None,
+            attained_fraction: None,
+            arithmetic_intensity: None,
+            phase_tree: None,
         }
     }
 
@@ -116,13 +131,16 @@ impl Report {
     pub fn csv_header() -> &'static str {
         "matrix,format,backend,variant,k,threads,block,iterations,\
          rows,cols,nnz,max,avg,ratio,variance,std_dev,\
-         format_time_s,avg_calc_time_s,total_time_s,mflops,simulated,verified,footprint_bytes"
+         format_time_s,avg_calc_time_s,total_time_s,mflops,simulated,verified,footprint_bytes,\
+         modeled_mflops,attained_fraction,arithmetic_intensity"
     }
 
     /// One CSV row.
     pub fn csv_row(&self) -> String {
+        let opt =
+            |v: Option<f64>, digits: usize| v.map_or(String::new(), |v| format!("{v:.digits$}"));
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{:.2},{:.2},{:.2},{:.2},{:.6},{:.6e},{:.6},{:.2},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{:.2},{:.2},{:.2},{:.2},{:.6},{:.6e},{:.6},{:.2},{},{},{},{},{},{}",
             self.matrix,
             self.format,
             self.backend,
@@ -146,6 +164,9 @@ impl Report {
             self.simulated,
             self.verified.map_or("skipped".to_string(), |v| v.to_string()),
             self.memory_footprint,
+            opt(self.modeled_mflops, 2),
+            opt(self.attained_fraction, 4),
+            opt(self.arithmetic_intensity, 4),
         )
     }
 
@@ -178,6 +199,9 @@ impl Report {
             .with("simulated", self.simulated)
             .with("verified", self.verified)
             .with("memory_footprint", self.memory_footprint)
+            .with("modeled_mflops", self.modeled_mflops)
+            .with("attained_fraction", self.attained_fraction)
+            .with("arithmetic_intensity", self.arithmetic_intensity)
             .pretty()
     }
 }
@@ -224,11 +248,26 @@ impl fmt::Display for Report {
             self.flops, self.mflops, self.gflops
         )?;
         writeln!(f, "footprint:   {} bytes", self.memory_footprint)?;
+        if let (Some(modeled), Some(fraction)) = (self.modeled_mflops, self.attained_fraction) {
+            writeln!(
+                f,
+                "attainment:  {:.1}% of the modeled {:.2} MFLOPS roofline",
+                fraction * 100.0,
+                modeled
+            )?;
+        }
         match self.verified {
             Some(true) => writeln!(f, "verify:      PASSED"),
             Some(false) => writeln!(f, "verify:      FAILED"),
             None => writeln!(f, "verify:      skipped"),
+        }?;
+        if let Some(tree) = &self.phase_tree {
+            writeln!(f, "phases:")?;
+            for line in tree.lines() {
+                writeln!(f, "  {line}")?;
+            }
         }
+        Ok(())
     }
 }
 

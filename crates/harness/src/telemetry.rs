@@ -1,0 +1,116 @@
+//! Telemetry sinks: where the tracing layer's output lands.
+//!
+//! The `spmm-trace` crate collects spans and metrics; this module turns
+//! them into the harness's artifacts — a chrome://tracing JSON file
+//! (load it at `chrome://tracing` or <https://ui.perfetto.dev>), and
+//! metrics blocks in the suite's JSON outputs.
+
+use std::fs;
+
+use spmm_trace::{chrome_trace_json, MetricsSnapshot, SpanEvent};
+
+use crate::errors::HarnessError;
+use crate::json::Json;
+
+/// Write `events` as a chrome://tracing file at `path`.
+pub fn write_chrome_trace(path: &str, events: &[SpanEvent]) -> Result<(), HarnessError> {
+    fs::write(path, chrome_trace_json(events)).map_err(|e| HarnessError::Io {
+        path: path.to_string(),
+        detail: e.to_string(),
+    })
+}
+
+/// Serialize a metrics snapshot (usually a [`MetricsSnapshot::delta_since`]
+/// of the region of interest) as a JSON block: counters and gauges as
+/// name→value objects, histograms as `{count, sum, mean}` summaries.
+pub fn metrics_json(snapshot: &MetricsSnapshot) -> Json {
+    let mut counters = Json::obj();
+    for (name, value) in &snapshot.counters {
+        counters = counters.with(name, *value);
+    }
+    let mut gauges = Json::obj();
+    for (name, value) in &snapshot.gauges {
+        gauges = gauges.with(name, *value);
+    }
+    let mut histograms = Json::obj();
+    for (name, h) in &snapshot.histograms {
+        histograms = histograms.with(
+            name,
+            Json::obj()
+                .with("count", h.count)
+                .with("sum", h.sum)
+                .with("mean", h.mean()),
+        );
+    }
+    Json::obj()
+        .with("counters", counters)
+        .with("gauges", gauges)
+        .with("histograms", histograms)
+}
+
+/// Drain every span recorded so far and write them to `path` — the
+/// `--trace-out` endpoint shared by `spmm-bench` and `run-studies`.
+pub fn flush_trace_to(path: &str) -> Result<usize, HarnessError> {
+    let events = spmm_trace::take_spans();
+    write_chrome_trace(path, &events)?;
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chrome_trace_file_round_trips_through_json() {
+        let events = vec![
+            SpanEvent {
+                name: "compute",
+                label: "serial",
+                tid: 0,
+                depth: 0,
+                start_us: 0.0,
+                dur_us: 120.0,
+            },
+            SpanEvent {
+                name: "pack",
+                label: "",
+                tid: 1,
+                depth: 1,
+                start_us: 10.0,
+                dur_us: 5.0,
+            },
+        ];
+        let dir = std::env::temp_dir().join(format!("spmm_trace_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.json");
+        write_chrome_trace(path.to_str().unwrap(), &events).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed = Json::parse(&text).unwrap();
+        let Json::Arr(items) = &parsed["traceEvents"] else {
+            panic!("traceEvents should be an array");
+        };
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0]["name"], "compute");
+        assert_eq!(items[0]["ph"], "X");
+        assert_eq!(items[1]["name"], "pack");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_path_is_an_io_error() {
+        let err = write_chrome_trace("/no/such/dir/trace.json", &[]).unwrap_err();
+        assert!(matches!(err, HarnessError::Io { .. }));
+        assert!(err.to_string().contains("cannot write"));
+    }
+
+    #[test]
+    fn metrics_block_shape() {
+        let snap = MetricsSnapshot::capture();
+        let j = metrics_json(&snap);
+        assert!(j.get("counters").is_some());
+        assert!(j.get("gauges").is_some());
+        assert!(j.get("histograms").is_some());
+        // Round-trips through the vendored parser.
+        assert!(Json::parse(&j.pretty()).is_ok());
+    }
+}

@@ -158,11 +158,53 @@ fn unsupported_combination_fails_cleanly() {
 }
 
 #[test]
+fn trace_out_writes_a_loadable_chrome_trace() {
+    let dir = std::env::temp_dir().join(format!("spmm_trace_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("trace.json");
+    let out = spmm_bench(&[
+        "-m",
+        "bcsstk13",
+        "-f",
+        "csr",
+        "-k",
+        "16",
+        "-n",
+        "1",
+        "--scale",
+        "0.2",
+        "--trace-out",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    // Chrome Trace Event Format shell: a traceEvents array of complete
+    // ("X") events. With the telemetry feature on (the default), the
+    // harness phases must be present.
+    assert!(text.starts_with("{\"traceEvents\":["), "{text}");
+    assert!(text.contains("\"displayTimeUnit\""), "{text}");
+    if cfg!(feature = "telemetry") {
+        for phase in ["\"format\"", "\"warmup\"", "\"calc\"", "\"verify\""] {
+            assert!(text.contains(phase), "missing {phase} in trace");
+        }
+        assert!(String::from_utf8_lossy(&out.stderr).contains("trace events"));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn run_studies_quick_writes_all_outputs() {
     let dir = std::env::temp_dir().join(format!("spmm_cli_{}", std::process::id()));
+    let trace = dir.join("studies-trace.json");
     let out = Command::new(env!("CARGO_BIN_EXE_run-studies"))
         .args(["--quick", "--no-charts", "--out"])
         .arg(&dir)
+        .arg("--trace-out")
+        .arg(&trace)
         .output()
         .expect("binary runs");
     assert!(
@@ -170,6 +212,16 @@ fn run_studies_quick_writes_all_outputs() {
         "{}",
         String::from_utf8_lossy(&out.stderr)
     );
+    // The trace file is written even when telemetry is compiled out (an
+    // empty but valid shell); the per-study metrics file needs probes.
+    let text = std::fs::read_to_string(&trace).expect("trace written");
+    assert!(text.starts_with("{\"traceEvents\":["), "{text}");
+    if cfg!(feature = "telemetry") {
+        assert!(
+            dir.join("telemetry.json").exists(),
+            "missing telemetry.json"
+        );
+    }
 
     // Every study artifact exists.
     for name in [

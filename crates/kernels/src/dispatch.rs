@@ -51,7 +51,8 @@ impl<T: Scalar, I: Index> FormatData<T, I> {
         coo: &CooMatrix<T, I>,
         block: usize,
     ) -> Result<Self, SparseError> {
-        Ok(match format {
+        let _span = spmm_trace::span!("convert", format.name());
+        let data = match format {
             SparseFormat::Coo => FormatData::Coo(coo.clone()),
             SparseFormat::Csr => FormatData::Csr(CsrMatrix::from_coo(coo)),
             SparseFormat::Ell => FormatData::Ell(EllMatrix::from_coo(coo)),
@@ -62,7 +63,47 @@ impl<T: Scalar, I: Index> FormatData<T, I> {
                 FormatData::Sell(SellMatrix::from_coo(coo, SELL_SLICE_HEIGHT, SELL_SIGMA)?)
             }
             SparseFormat::Hyb => FormatData::Hyb(HybMatrix::from_coo(coo)),
-        })
+        };
+        spmm_core::traffic::record_footprint(format.name(), &data);
+        Ok(data)
+    }
+
+    /// Record one SpMM kernel call in the metrics registry: call count,
+    /// useful flops, and the algorithmic traffic of this format at `k`.
+    /// One registry lookup per *kernel call* (never per row), and a single
+    /// relaxed load when tracing is off.
+    fn record_spmm_metrics(&self, k: usize) {
+        if !spmm_trace::enabled() {
+            return;
+        }
+        spmm_trace::counter("spmm.kernel_calls").inc();
+        spmm_trace::counter("spmm.flops").add(crate::spmm_flops(self.nnz(), k));
+        let t = spmm_core::traffic::spmm_traffic(
+            self.rows(),
+            k,
+            self.stored_entries(),
+            self.memory_footprint(),
+            spmm_core::traffic::value_bytes::<T>(),
+        );
+        spmm_trace::counter("spmm.bytes_read").add(t.bytes_read);
+        spmm_trace::counter("spmm.bytes_written").add(t.bytes_written);
+    }
+
+    /// SpMV twin of [`FormatData::record_spmm_metrics`] (`spmv.*` keys).
+    fn record_spmv_metrics(&self) {
+        if !spmm_trace::enabled() {
+            return;
+        }
+        spmm_trace::counter("spmv.kernel_calls").inc();
+        spmm_trace::counter("spmv.flops").add(crate::spmm_flops(self.nnz(), 1));
+        let t = spmm_core::traffic::spmv_traffic(
+            self.rows(),
+            self.stored_entries(),
+            self.memory_footprint(),
+            spmm_core::traffic::value_bytes::<T>(),
+        );
+        spmm_trace::counter("spmv.bytes_read").add(t.bytes_read);
+        spmm_trace::counter("spmv.bytes_written").add(t.bytes_written);
     }
 
     /// The format tag.
@@ -150,7 +191,32 @@ impl<T: Scalar, I: Index> FormatData<T, I> {
     }
 
     /// Serial SpMM.
+    ///
+    /// Note: harness-level code should reach this through the
+    /// [`crate::kernel_api::SpmmKernel`] trait (`kernel_api::kernel_for`)
+    /// rather than matching on backend/variant by hand.
     pub fn spmm_serial(&self, b: &DenseMatrix<T>, k: usize, c: &mut DenseMatrix<T>) {
+        let _span = spmm_trace::span!("compute", "serial");
+        self.record_spmm_metrics(k);
+        match self {
+            FormatData::Coo(m) => serial::coo_spmm(m, b, k, c),
+            FormatData::Csr(m) => serial::csr_spmm(m, b, k, c),
+            FormatData::Ell(m) => serial::ell_spmm(m, b, k, c),
+            FormatData::Bcsr(m) => serial::bcsr_spmm(m, b, k, c),
+            FormatData::Bell(m) => serial::bell_spmm(m, b, k, c),
+            FormatData::Csr5(m) => serial::csr5_spmm(m, b, k, c),
+            FormatData::Sell(m) => extended::sell_spmm(m, b, k, c),
+            FormatData::Hyb(m) => extended::hyb_spmm(m, b, k, c),
+        }
+    }
+
+    /// [`FormatData::spmm_serial`] with every telemetry probe omitted:
+    /// the A/B partner `bench-snapshot` times against the probed twin to
+    /// measure the disabled-probe cost in an otherwise identical codegen
+    /// context (comparing against the raw per-format kernels instead
+    /// measures the *instantiation site*, not the probes).
+    #[doc(hidden)]
+    pub fn spmm_serial_unprobed(&self, b: &DenseMatrix<T>, k: usize, c: &mut DenseMatrix<T>) {
         match self {
             FormatData::Coo(m) => serial::coo_spmm(m, b, k, c),
             FormatData::Csr(m) => serial::csr_spmm(m, b, k, c),
@@ -174,6 +240,8 @@ impl<T: Scalar, I: Index> FormatData<T, I> {
         k: usize,
         c: &mut DenseMatrix<T>,
     ) {
+        let _span = spmm_trace::span!("compute", "parallel");
+        self.record_spmm_metrics(k);
         match self {
             FormatData::Coo(m) => parallel::coo_spmm(pool, threads, m, b, k, c),
             FormatData::Csr(m) => parallel::csr_spmm(pool, threads, schedule, m, b, k, c),
@@ -192,6 +260,8 @@ impl<T: Scalar, I: Index> FormatData<T, I> {
     /// without a transpose variant (BELL, CSR5 — matching the paper, which
     /// only built transpose kernels for its four formats).
     pub fn spmm_serial_bt(&self, bt: &DenseMatrix<T>, k: usize, c: &mut DenseMatrix<T>) -> bool {
+        let _span = spmm_trace::span!("compute", "serial_bt");
+        self.record_spmm_metrics(k);
         match self {
             FormatData::Coo(m) => transpose::coo_spmm_bt(m, bt, k, c),
             FormatData::Csr(m) => transpose::csr_spmm_bt(m, bt, k, c),
@@ -202,6 +272,7 @@ impl<T: Scalar, I: Index> FormatData<T, I> {
             | FormatData::Sell(_)
             | FormatData::Hyb(_) => return false,
         }
+        self.record_spmm_metrics(k);
         true
     }
 
@@ -215,6 +286,7 @@ impl<T: Scalar, I: Index> FormatData<T, I> {
         k: usize,
         c: &mut DenseMatrix<T>,
     ) -> bool {
+        let _span = spmm_trace::span!("compute", "parallel_bt");
         match self {
             FormatData::Coo(m) => transpose::coo_spmm_bt_parallel(pool, threads, m, bt, k, c),
             FormatData::Csr(m) => {
@@ -231,6 +303,7 @@ impl<T: Scalar, I: Index> FormatData<T, I> {
             | FormatData::Sell(_)
             | FormatData::Hyb(_) => return false,
         }
+        self.record_spmm_metrics(k);
         true
     }
 
@@ -242,7 +315,8 @@ impl<T: Scalar, I: Index> FormatData<T, I> {
         k: usize,
         c: &mut DenseMatrix<T>,
     ) -> bool {
-        match self {
+        let _span = spmm_trace::span!("compute", "fixed_k");
+        let ran = match self {
             FormatData::Coo(m) => optimized::coo_spmm_fixed_k(m, b, k, c),
             FormatData::Csr(m) => optimized::csr_spmm_fixed_k(m, b, k, c),
             FormatData::Ell(m) => optimized::ell_spmm_fixed_k(m, b, k, c),
@@ -251,7 +325,11 @@ impl<T: Scalar, I: Index> FormatData<T, I> {
             | FormatData::Csr5(_)
             | FormatData::Sell(_)
             | FormatData::Hyb(_) => false,
+        };
+        if ran {
+            self.record_spmm_metrics(k);
         }
+        ran
     }
 
     /// Parallel const-`K` SpMM (Study 9; CSR and ELL rows loops only, the
@@ -265,7 +343,8 @@ impl<T: Scalar, I: Index> FormatData<T, I> {
         k: usize,
         c: &mut DenseMatrix<T>,
     ) -> bool {
-        match self {
+        let _span = spmm_trace::span!("compute", "fixed_k_parallel");
+        let ran = match self {
             FormatData::Csr(m) => {
                 optimized::csr_spmm_fixed_k_parallel(pool, threads, schedule, m, b, k, c)
             }
@@ -273,7 +352,11 @@ impl<T: Scalar, I: Index> FormatData<T, I> {
                 optimized::ell_spmm_fixed_k_parallel(pool, threads, schedule, m, b, k, c)
             }
             _ => false,
+        };
+        if ran {
+            self.record_spmm_metrics(k);
         }
+        ran
     }
 
     /// Serial cache-blocked tiled SpMM against a panel-packed B (the
@@ -285,12 +368,14 @@ impl<T: Scalar, I: Index> FormatData<T, I> {
         cfg: TileConfig,
         c: &mut DenseMatrix<T>,
     ) -> bool {
+        let _span = spmm_trace::span!("compute", "tiled");
         match self {
             FormatData::Csr(m) => tiled::csr_spmm_tiled(m, packed, cfg, c),
             FormatData::Ell(m) => tiled::ell_spmm_tiled(m, packed, cfg, c),
             FormatData::Bcsr(m) => tiled::bcsr_spmm_tiled(m, packed, cfg, c),
             _ => return false,
         }
+        self.record_tiled_metrics(cfg, c.cols());
         true
     }
 
@@ -304,6 +389,7 @@ impl<T: Scalar, I: Index> FormatData<T, I> {
         cfg: TileConfig,
         c: &mut DenseMatrix<T>,
     ) -> bool {
+        let _span = spmm_trace::span!("compute", "tiled_parallel");
         match self {
             FormatData::Csr(m) => {
                 tiled::csr_spmm_tiled_parallel(pool, threads, schedule, m, packed, cfg, c)
@@ -316,11 +402,13 @@ impl<T: Scalar, I: Index> FormatData<T, I> {
             }
             _ => return false,
         }
+        self.record_tiled_metrics(cfg, c.cols());
         true
     }
 
     /// Serial SpMV (§6.3.4). Returns `false` for BELL/CSR5.
     pub fn spmv_serial(&self, x: &[T], y: &mut [T]) -> bool {
+        let _span = spmm_trace::span!("compute", "spmv_serial");
         match self {
             FormatData::Coo(m) => spmv::coo_spmv(m, x, y),
             FormatData::Csr(m) => spmv::csr_spmv(m, x, y),
@@ -331,6 +419,7 @@ impl<T: Scalar, I: Index> FormatData<T, I> {
             | FormatData::Sell(_)
             | FormatData::Hyb(_) => return false,
         }
+        self.record_spmv_metrics();
         true
     }
 
@@ -345,10 +434,12 @@ impl<T: Scalar, I: Index> FormatData<T, I> {
         k: usize,
         c: &mut DenseMatrix<T>,
     ) -> bool {
+        let _span = spmm_trace::span!("compute", "balanced");
         match self {
             FormatData::Csr(m) => parallel::csr_spmm_balanced(pool, threads, m, b, k, c),
             _ => return false,
         }
+        self.record_spmm_metrics(k);
         true
     }
 
@@ -361,6 +452,7 @@ impl<T: Scalar, I: Index> FormatData<T, I> {
         x: &[T],
         y: &mut [T],
     ) -> bool {
+        let _span = spmm_trace::span!("compute", "spmv_parallel");
         match self {
             FormatData::Coo(m) => spmv::coo_spmv_parallel(pool, threads, m, x, y),
             FormatData::Csr(m) => spmv::csr_spmv_parallel(pool, threads, schedule, m, x, y),
@@ -371,7 +463,18 @@ impl<T: Scalar, I: Index> FormatData<T, I> {
             | FormatData::Sell(_)
             | FormatData::Hyb(_) => return false,
         }
+        self.record_spmv_metrics();
         true
+    }
+
+    /// Record a tiled kernel call's tile grid in the metrics registry.
+    fn record_tiled_metrics(&self, cfg: TileConfig, k: usize) {
+        if !spmm_trace::enabled() {
+            return;
+        }
+        let tiles = self.rows().div_ceil(cfg.row_block.max(1)) as u64
+            * k.div_ceil(cfg.panel_w.max(1)) as u64;
+        spmm_trace::counter("tiled.tiles_dispatched").add(tiles);
     }
 }
 
@@ -394,6 +497,30 @@ impl<T: SimdScalar, I: Index> FormatData<T, I> {
         k: usize,
         c: &mut DenseMatrix<T>,
     ) -> bool {
+        let _span = spmm_trace::span!("compute", "simd");
+        match self {
+            FormatData::Csr(m) => simd::csr_spmm_at(level, m, b, k, c),
+            FormatData::Ell(m) => simd::ell_spmm_at(level, m, b, k, c),
+            FormatData::Bcsr(m) => simd::bcsr_spmm_at(level, m, b, k, c),
+            FormatData::Sell(m) => simd::sell_spmm_at(level, m, b, k, c),
+            FormatData::Coo(_) | FormatData::Bell(_) | FormatData::Csr5(_) | FormatData::Hyb(_) => {
+                return false
+            }
+        }
+        self.record_spmm_metrics(k);
+        true
+    }
+
+    /// [`FormatData::spmm_serial_simd`] with every telemetry probe
+    /// omitted — see [`FormatData::spmm_serial_unprobed`].
+    #[doc(hidden)]
+    pub fn spmm_serial_simd_unprobed(
+        &self,
+        b: &DenseMatrix<T>,
+        k: usize,
+        c: &mut DenseMatrix<T>,
+    ) -> bool {
+        let level = simd::active_level();
         match self {
             FormatData::Csr(m) => simd::csr_spmm_at(level, m, b, k, c),
             FormatData::Ell(m) => simd::ell_spmm_at(level, m, b, k, c),
@@ -412,12 +539,20 @@ impl<T: SimdScalar, I: Index> FormatData<T, I> {
     /// set than [`FormatData::spmv_serial`], which intentionally keeps
     /// SELL unsupported to match the paper's scalar kernel matrix.
     pub fn spmv_serial_simd_at(&self, level: SimdLevel, x: &[T], y: &mut [T]) -> bool {
+        let _span = spmm_trace::span!("compute", "spmv_simd");
         match self {
             FormatData::Csr(m) => simd::csr_spmv_at(level, m, x, y),
             FormatData::Sell(m) => simd::sell_spmv_at(level, m, x, y),
             _ => return false,
         }
+        self.record_spmv_metrics();
         true
+    }
+}
+
+impl<T: Scalar, I: Index> MemoryFootprint for FormatData<T, I> {
+    fn memory_footprint(&self) -> usize {
+        FormatData::memory_footprint(self)
     }
 }
 

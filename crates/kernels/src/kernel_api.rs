@@ -1,0 +1,461 @@
+//! The unified CPU SpMM kernel entry point.
+//!
+//! Historically the harness selected a kernel by matching `(backend,
+//! variant)` onto [`FormatData`]'s free-method zoo. This module replaces
+//! that with one trait, [`SpmmKernel`]: each CPU execution path (serial,
+//! parallel, transposed-B, const-K, SIMD) is a named object that reports
+//! which formats it supports and executes behind a single signature.
+//! [`kernel_for`] is the dispatch table. GPU backends stay in the
+//! simulator crate; SpMV keeps its own narrower entry points.
+
+use std::fmt;
+
+use spmm_core::{DenseMatrix, Index, SparseFormat};
+use spmm_parallel::{Schedule, ThreadPool};
+
+use crate::dispatch::FormatData;
+use crate::optimized;
+use crate::simd::SimdScalar;
+
+/// CPU execution backends addressable through [`kernel_for`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpuBackend {
+    /// Single-threaded.
+    Serial,
+    /// The `spmm-parallel` pool (the paper's OpenMP analogue).
+    Parallel,
+}
+
+/// Kernel variants addressable through [`kernel_for`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpuVariant {
+    /// The baseline row-loop kernels.
+    Normal,
+    /// Study 8's transposed-B layout kernels.
+    TransposedB,
+    /// Study 9's const-`K` specialized kernels.
+    FixedK,
+    /// The runtime-dispatched SIMD micro-kernels (serial only).
+    Simd,
+}
+
+/// Everything a kernel needs beyond the operands: the pool and the
+/// parallel execution policy. Serial kernels ignore all of it.
+pub struct ExecContext<'a> {
+    /// Worker pool for parallel backends.
+    pub pool: &'a ThreadPool,
+    /// Participant count for parallel backends.
+    pub threads: usize,
+    /// Loop schedule for parallel backends.
+    pub schedule: Schedule,
+}
+
+/// Why a kernel refused to execute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// The kernel has no implementation for this format.
+    UnsupportedFormat {
+        /// The kernel's [`SpmmKernel::name`].
+        kernel: &'static str,
+        /// The format that was requested.
+        format: SparseFormat,
+    },
+    /// The const-`K` kernel has no instantiation for this `k`.
+    UnsupportedK {
+        /// The kernel's [`SpmmKernel::name`].
+        kernel: &'static str,
+        /// The `k` that was requested.
+        k: usize,
+    },
+    /// The variant needs the transposed B operand and none was supplied.
+    MissingTransposedB,
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::UnsupportedFormat { kernel, format } => {
+                write!(f, "kernel `{kernel}` does not support the {format} format")
+            }
+            KernelError::UnsupportedK { kernel, k } => {
+                write!(f, "kernel `{kernel}` has no instantiation for k={k}")
+            }
+            KernelError::MissingTransposedB => {
+                write!(
+                    f,
+                    "transposed-B kernel called without a transposed B operand"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+/// One CPU SpMM execution path: a named kernel with a format-support
+/// table and a uniform execute signature.
+pub trait SpmmKernel<T: SimdScalar, I: Index> {
+    /// Stable kernel name, e.g. `"serial"` or `"omp-fixed-k"`.
+    fn name(&self) -> &'static str;
+
+    /// Whether this kernel has an implementation for `format`.
+    fn supports(&self, format: SparseFormat) -> bool;
+
+    /// Run `C = A · B` for `k` dense columns. `bt` is the transposed B,
+    /// required by the transposed-B variant and ignored by the others.
+    fn execute(
+        &self,
+        data: &FormatData<T, I>,
+        b: &DenseMatrix<T>,
+        bt: Option<&DenseMatrix<T>>,
+        k: usize,
+        ctx: &ExecContext<'_>,
+        c: &mut DenseMatrix<T>,
+    ) -> Result<(), KernelError>;
+}
+
+fn unsupported<T: SimdScalar, I: Index>(
+    kernel: &dyn SpmmKernel<T, I>,
+    data: &FormatData<T, I>,
+) -> KernelError {
+    KernelError::UnsupportedFormat {
+        kernel: kernel.name(),
+        format: data.format(),
+    }
+}
+
+/// The baseline serial row-loop kernels (`crates/kernels/src/serial.rs`
+/// and the extended formats).
+pub struct SerialKernel;
+
+impl<T: SimdScalar, I: Index> SpmmKernel<T, I> for SerialKernel {
+    fn name(&self) -> &'static str {
+        "serial"
+    }
+
+    fn supports(&self, _format: SparseFormat) -> bool {
+        true
+    }
+
+    fn execute(
+        &self,
+        data: &FormatData<T, I>,
+        b: &DenseMatrix<T>,
+        _bt: Option<&DenseMatrix<T>>,
+        k: usize,
+        _ctx: &ExecContext<'_>,
+        c: &mut DenseMatrix<T>,
+    ) -> Result<(), KernelError> {
+        data.spmm_serial(b, k, c);
+        Ok(())
+    }
+}
+
+/// The pool-parallel row-loop kernels (the paper's OpenMP path).
+pub struct ParallelKernel;
+
+impl<T: SimdScalar, I: Index> SpmmKernel<T, I> for ParallelKernel {
+    fn name(&self) -> &'static str {
+        "omp"
+    }
+
+    fn supports(&self, _format: SparseFormat) -> bool {
+        true
+    }
+
+    fn execute(
+        &self,
+        data: &FormatData<T, I>,
+        b: &DenseMatrix<T>,
+        _bt: Option<&DenseMatrix<T>>,
+        k: usize,
+        ctx: &ExecContext<'_>,
+        c: &mut DenseMatrix<T>,
+    ) -> Result<(), KernelError> {
+        data.spmm_parallel(ctx.pool, ctx.threads, ctx.schedule, b, k, c);
+        Ok(())
+    }
+}
+
+/// Study 8's transposed-B kernels, serial or parallel.
+pub struct TransposedBKernel {
+    /// Run on the pool rather than single-threaded.
+    pub parallel: bool,
+}
+
+impl<T: SimdScalar, I: Index> SpmmKernel<T, I> for TransposedBKernel {
+    fn name(&self) -> &'static str {
+        if self.parallel {
+            "omp-transposed"
+        } else {
+            "serial-transposed"
+        }
+    }
+
+    fn supports(&self, format: SparseFormat) -> bool {
+        SparseFormat::PAPER.contains(&format)
+    }
+
+    fn execute(
+        &self,
+        data: &FormatData<T, I>,
+        _b: &DenseMatrix<T>,
+        bt: Option<&DenseMatrix<T>>,
+        k: usize,
+        ctx: &ExecContext<'_>,
+        c: &mut DenseMatrix<T>,
+    ) -> Result<(), KernelError> {
+        let bt = bt.ok_or(KernelError::MissingTransposedB)?;
+        let ran = if self.parallel {
+            data.spmm_parallel_bt(ctx.pool, ctx.threads, ctx.schedule, bt, k, c)
+        } else {
+            data.spmm_serial_bt(bt, k, c)
+        };
+        if ran {
+            Ok(())
+        } else {
+            Err(unsupported(self, data))
+        }
+    }
+}
+
+/// Study 9's const-`K` specialized kernels, serial or parallel.
+pub struct FixedKKernel {
+    /// Run on the pool rather than single-threaded.
+    pub parallel: bool,
+}
+
+impl<T: SimdScalar, I: Index> SpmmKernel<T, I> for FixedKKernel {
+    fn name(&self) -> &'static str {
+        if self.parallel {
+            "omp-fixed-k"
+        } else {
+            "serial-fixed-k"
+        }
+    }
+
+    fn supports(&self, format: SparseFormat) -> bool {
+        if self.parallel {
+            matches!(format, SparseFormat::Csr | SparseFormat::Ell)
+        } else {
+            SparseFormat::PAPER.contains(&format)
+        }
+    }
+
+    fn execute(
+        &self,
+        data: &FormatData<T, I>,
+        b: &DenseMatrix<T>,
+        _bt: Option<&DenseMatrix<T>>,
+        k: usize,
+        ctx: &ExecContext<'_>,
+        c: &mut DenseMatrix<T>,
+    ) -> Result<(), KernelError> {
+        if !SpmmKernel::<T, I>::supports(self, data.format()) {
+            return Err(unsupported(self, data));
+        }
+        let ran = if self.parallel {
+            data.spmm_parallel_fixed_k(ctx.pool, ctx.threads, ctx.schedule, b, k, c)
+        } else {
+            data.spmm_serial_fixed_k(b, k, c)
+        };
+        if ran {
+            Ok(())
+        } else {
+            // Format is supported, so the only other refusal is the k table.
+            Err(KernelError::UnsupportedK {
+                kernel: SpmmKernel::<T, I>::name(self),
+                k,
+            })
+        }
+    }
+}
+
+/// The runtime-dispatched SIMD micro-kernels (serial only; see Study 12).
+pub struct SimdKernel;
+
+impl<T: SimdScalar, I: Index> SpmmKernel<T, I> for SimdKernel {
+    fn name(&self) -> &'static str {
+        "serial-simd"
+    }
+
+    fn supports(&self, format: SparseFormat) -> bool {
+        matches!(
+            format,
+            SparseFormat::Csr | SparseFormat::Ell | SparseFormat::Bcsr | SparseFormat::Sell
+        )
+    }
+
+    fn execute(
+        &self,
+        data: &FormatData<T, I>,
+        b: &DenseMatrix<T>,
+        _bt: Option<&DenseMatrix<T>>,
+        k: usize,
+        _ctx: &ExecContext<'_>,
+        c: &mut DenseMatrix<T>,
+    ) -> Result<(), KernelError> {
+        if data.spmm_serial_simd(b, k, c) {
+            Ok(())
+        } else {
+            Err(unsupported(self, data))
+        }
+    }
+}
+
+/// The dispatch table: the kernel object for a `(backend, variant)` pair,
+/// or `None` when the pair has no CPU kernel (the SIMD micro-kernels are
+/// serial-only).
+pub fn kernel_for<T: SimdScalar, I: Index>(
+    backend: CpuBackend,
+    variant: CpuVariant,
+) -> Option<Box<dyn SpmmKernel<T, I>>> {
+    let parallel = backend == CpuBackend::Parallel;
+    Some(match variant {
+        CpuVariant::Normal => {
+            if parallel {
+                Box::new(ParallelKernel) as Box<dyn SpmmKernel<T, I>>
+            } else {
+                Box::new(SerialKernel)
+            }
+        }
+        CpuVariant::TransposedB => Box::new(TransposedBKernel { parallel }),
+        CpuVariant::FixedK => Box::new(FixedKKernel { parallel }),
+        CpuVariant::Simd => {
+            if parallel {
+                return None;
+            }
+            Box::new(SimdKernel)
+        }
+    })
+}
+
+/// The `k` values the const-`K` kernels are instantiated for (re-exported
+/// so callers can validate before dispatch).
+pub fn supported_fixed_k() -> &'static [usize] {
+    &optimized::SUPPORTED_K
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmm_core::CooMatrix;
+
+    fn fixture() -> (FormatData<f64>, DenseMatrix<f64>, DenseMatrix<f64>) {
+        let mut trips = Vec::new();
+        for i in 0..32usize {
+            for d in 0..(i % 3 + 1) {
+                trips.push((i, (i * 2 + d * 7) % 20, 1.0 + (i + d) as f64 * 0.5));
+            }
+        }
+        let coo = CooMatrix::from_triplets(32, 20, &trips).unwrap();
+        let b = DenseMatrix::from_fn(20, 8, |i, j| ((i * 3 + j) % 7) as f64 - 3.0);
+        let expected = coo.spmm_reference_k(&b, 8);
+        (
+            FormatData::from_coo(SparseFormat::Csr, &coo, 2).unwrap(),
+            b,
+            expected,
+        )
+    }
+
+    fn ctx(pool: &ThreadPool) -> ExecContext<'_> {
+        ExecContext {
+            pool,
+            threads: 3,
+            schedule: Schedule::Static,
+        }
+    }
+
+    #[test]
+    fn every_cpu_pair_dispatches_consistently() {
+        let (data, b, expected) = fixture();
+        let bt = b.transposed();
+        let pool = ThreadPool::new(3);
+        let ctx = ctx(&pool);
+        for backend in [CpuBackend::Serial, CpuBackend::Parallel] {
+            for variant in [
+                CpuVariant::Normal,
+                CpuVariant::TransposedB,
+                CpuVariant::FixedK,
+                CpuVariant::Simd,
+            ] {
+                let Some(kernel) = kernel_for::<f64, usize>(backend, variant) else {
+                    assert_eq!(
+                        (backend, variant),
+                        (CpuBackend::Parallel, CpuVariant::Simd),
+                        "only parallel simd should be absent"
+                    );
+                    continue;
+                };
+                assert!(kernel.supports(SparseFormat::Csr), "{}", kernel.name());
+                let mut c = DenseMatrix::zeros(32, 8);
+                kernel
+                    .execute(&data, &b, Some(&bt), 8, &ctx, &mut c)
+                    .unwrap_or_else(|e| panic!("{}: {e}", kernel.name()));
+                assert!(
+                    c.max_abs_diff(&expected) < 1e-12,
+                    "{} result mismatch",
+                    kernel.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unsupported_format_is_a_typed_error() {
+        let (data, b, _) = fixture();
+        let coo = data.format(); // csr fixture; build a bell one instead
+        assert_eq!(coo, SparseFormat::Csr);
+        let bell = {
+            let coo = CooMatrix::from_triplets(4, 4, &[(0, 0, 1.0), (2, 2, 2.0)]).unwrap();
+            FormatData::<f64>::from_coo(SparseFormat::Bell, &coo, 2).unwrap()
+        };
+        let pool = ThreadPool::new(1);
+        let ctx = ctx(&pool);
+        let kernel = kernel_for::<f64, usize>(CpuBackend::Serial, CpuVariant::TransposedB).unwrap();
+        assert!(!kernel.supports(SparseFormat::Bell));
+        let bt = b.transposed();
+        let mut c = DenseMatrix::zeros(4, 8);
+        let b4 = DenseMatrix::from_fn(4, 8, |_, _| 1.0);
+        let err = kernel
+            .execute(&bell, &b4, Some(&bt), 8, &ctx, &mut c)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            KernelError::UnsupportedFormat {
+                kernel: "serial-transposed",
+                format: SparseFormat::Bell
+            }
+        );
+        assert!(err.to_string().contains("bell"));
+    }
+
+    #[test]
+    fn missing_bt_and_bad_k_are_typed_errors() {
+        let (data, b, _) = fixture();
+        let pool = ThreadPool::new(1);
+        let ctx = ctx(&pool);
+        let kernel = kernel_for::<f64, usize>(CpuBackend::Serial, CpuVariant::TransposedB).unwrap();
+        let mut c = DenseMatrix::zeros(32, 8);
+        assert_eq!(
+            kernel
+                .execute(&data, &b, None, 8, &ctx, &mut c)
+                .unwrap_err(),
+            KernelError::MissingTransposedB
+        );
+
+        let fixed = kernel_for::<f64, usize>(CpuBackend::Serial, CpuVariant::FixedK).unwrap();
+        let b9 = DenseMatrix::from_fn(20, 9, |_, _| 0.0);
+        let mut c9 = DenseMatrix::zeros(32, 9);
+        assert!(!supported_fixed_k().contains(&9));
+        assert_eq!(
+            fixed
+                .execute(&data, &b9, None, 9, &ctx, &mut c9)
+                .unwrap_err(),
+            KernelError::UnsupportedK {
+                kernel: "serial-fixed-k",
+                k: 9
+            }
+        );
+    }
+}

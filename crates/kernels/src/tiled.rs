@@ -77,6 +77,10 @@ impl TileConfig {
 
     /// Pack the first `k` columns of `b` into panels of this width.
     pub fn pack<T: Scalar>(&self, b: &DenseMatrix<T>, k: usize) -> PackedPanels<T> {
+        let _span = spmm_trace::span!("pack");
+        if spmm_trace::enabled() {
+            spmm_trace::counter("tiled.panels_packed").add(k.div_ceil(self.panel_w.max(1)) as u64);
+        }
         PackedPanels::pack(b, k, self.panel_w)
     }
 

@@ -147,6 +147,14 @@ impl ThreadPool {
         F: Fn(Range<usize>) + Sync,
     {
         let threads = threads.max(1).min(range.len().max(1));
+        // Telemetry is per region (and per thread below), never per row:
+        // one enabled() load when tracing is off.
+        let tracing = spmm_trace::enabled();
+        if tracing {
+            spmm_trace::counter("parallel.regions").inc();
+            spmm_trace::histogram("parallel.rows_per_thread")
+                .record((range.len() / threads) as u64);
+        }
         if threads == 1 {
             if !range.is_empty() {
                 body(range);
@@ -155,9 +163,15 @@ impl ThreadPool {
         }
         let source = WorkSource::new(range, threads, schedule);
         self.broadcast(threads, |tid| {
+            let _worker = spmm_trace::full_enabled().then(|| spmm_trace::span("worker"));
             let mut taken = false;
+            let mut chunks = 0u64;
             while let Some(chunk) = source.next(tid, &mut taken) {
+                chunks += 1;
                 body(chunk);
+            }
+            if tracing {
+                spmm_trace::counter("parallel.chunks").add(chunks);
             }
         });
     }

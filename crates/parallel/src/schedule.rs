@@ -77,7 +77,15 @@ impl WorkSource {
     pub(crate) fn new(range: Range<usize>, threads: usize, schedule: Schedule) -> Self {
         // `Auto` resolves here, where the real loop length is known.
         let schedule = match schedule {
-            Schedule::Auto => Schedule::dynamic_auto(range.len(), threads),
+            Schedule::Auto => {
+                let resolved = Schedule::dynamic_auto(range.len(), threads);
+                if spmm_trace::enabled() {
+                    if let Schedule::Dynamic(chunk) = resolved {
+                        spmm_trace::gauge("parallel.auto_chunk").set(chunk as i64);
+                    }
+                }
+                resolved
+            }
             s => s,
         };
         let start = range.start;

@@ -1,0 +1,124 @@
+//! Roofline attainment: join a *measured* kernel rate against the model.
+//!
+//! The telemetry layer times each kernel phase; this module asks the
+//! performance model what the same `(machine, workload, threads)` point
+//! *should* achieve and reports the ratio. An `attained_fraction` near
+//! 1.0 means the kernel runs as fast as the model's roofline allows;
+//! well below 1.0 flags either a kernel problem or a model blind spot —
+//! both worth a look, which is the point of recording it per
+//! `(matrix, format, variant)` in `BENCH_results.json`.
+
+use crate::estimate::{self, SpmmWorkload};
+use crate::machine::MachineProfile;
+
+/// The measured-vs-modelled join for one kernel configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Attainment {
+    /// Measured useful-FLOP rate, MFLOPS.
+    pub measured_mflops: f64,
+    /// Modelled rate for the same workload and thread count, MFLOPS.
+    pub modeled_mflops: f64,
+    /// `measured / modeled` (0.0 when the model predicts nothing).
+    pub attained_fraction: f64,
+    /// Modelled arithmetic intensity, useful FLOPs per modelled byte.
+    pub arithmetic_intensity: f64,
+    /// Whether the modelled serial time is dominated by memory traffic
+    /// rather than issue/FLOP throughput.
+    pub memory_bound: bool,
+}
+
+/// Join `measured_mflops` against the model's estimate for `(machine,
+/// workload, threads)`.
+pub fn attainment(
+    machine: &MachineProfile,
+    workload: &SpmmWorkload,
+    threads: usize,
+    measured_mflops: f64,
+) -> Attainment {
+    let modeled_mflops = estimate::estimate_spmm_mflops(machine, workload, threads);
+    let bytes = estimate::traffic_bytes(machine, workload).max(1.0);
+    let compute_time = workload.executed_flops() * estimate::format_cpi_factor(workload)
+        / (machine.core_peak_gflops() * 1e9);
+    let memory_time = bytes / (machine.per_core_gbps * 1e9);
+    Attainment {
+        measured_mflops,
+        modeled_mflops,
+        attained_fraction: if modeled_mflops > 0.0 {
+            measured_mflops / modeled_mflops
+        } else {
+            0.0
+        },
+        arithmetic_intensity: workload.useful_flops() / bytes,
+        memory_bound: memory_time >= compute_time,
+    }
+}
+
+/// The model's cache-aware traffic estimate for one SpMM pass, in bytes.
+///
+/// Exposed so sinks can contrast it with the *algorithmic* traffic the
+/// kernels count (`spmm_core::traffic`): the gap between the two is the
+/// cache reuse the model credits the workload with.
+pub fn modeled_traffic_bytes(machine: &MachineProfile, workload: &SpmmWorkload) -> f64 {
+    estimate::traffic_bytes(machine, workload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmm_core::SparseFormat;
+
+    fn workload() -> SpmmWorkload {
+        SpmmWorkload::new(
+            SparseFormat::Csr,
+            10_000,
+            10_000,
+            200_000,
+            200_000,
+            60,
+            200_000 * 12 + 10_001 * 8,
+            1,
+            128,
+        )
+    }
+
+    fn machine() -> MachineProfile {
+        MachineProfile::container_host()
+    }
+
+    #[test]
+    fn perfect_measurement_attains_one() {
+        let w = workload();
+        let m = machine();
+        let modeled = estimate::estimate_spmm_mflops(&m, &w, 1);
+        let a = attainment(&m, &w, 1, modeled);
+        assert!((a.attained_fraction - 1.0).abs() < 1e-12);
+        assert_eq!(a.modeled_mflops, modeled);
+    }
+
+    #[test]
+    fn half_rate_attains_half() {
+        let w = workload();
+        let m = machine();
+        let modeled = estimate::estimate_spmm_mflops(&m, &w, 1);
+        let a = attainment(&m, &w, 1, modeled / 2.0);
+        assert!((a.attained_fraction - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intensity_is_flops_over_modeled_bytes() {
+        let w = workload();
+        let m = machine();
+        let a = attainment(&m, &w, 1, 100.0);
+        let bytes = modeled_traffic_bytes(&m, &w);
+        assert!(bytes > 0.0);
+        assert!((a.arithmetic_intensity - w.useful_flops() / bytes).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_model_yields_zero_fraction() {
+        let m = machine();
+        let w = SpmmWorkload::new(SparseFormat::Csr, 10, 10, 0, 0, 0, 88, 1, 128);
+        let a = attainment(&m, &w, 1, 50.0);
+        assert_eq!(a.attained_fraction, 0.0);
+    }
+}

@@ -26,10 +26,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod attainment;
 mod estimate;
 mod machine;
 mod tiling;
 
+pub use attainment::{attainment, modeled_traffic_bytes, Attainment};
 pub use estimate::{estimate_spmm_mflops, serial_time_s, simd_speedup, SpmmWorkload};
 pub use machine::MachineProfile;
 pub use tiling::{panel_width_for_cache, select_tile_shape, TileShape};

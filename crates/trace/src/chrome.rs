@@ -1,0 +1,94 @@
+//! chrome://tracing (Trace Event Format) JSON export.
+//!
+//! Emits complete-duration (`"ph":"X"`) events, one per recorded span, in
+//! the JSON object form `{"traceEvents":[...],"displayTimeUnit":"ms"}`
+//! that chrome://tracing and Perfetto load directly.
+
+use crate::span::SpanEvent;
+
+fn escape_into(out: &mut String, s: &str) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Render spans as a chrome://tracing JSON document.
+///
+/// Spans become `"ph":"X"` complete events under a single process
+/// (`pid` 1); the trace-local thread id becomes `tid`, and the span label
+/// (when present) is carried in `args.label`.
+pub fn chrome_trace_json(spans: &[SpanEvent]) -> String {
+    let mut out = String::with_capacity(64 + spans.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    for (i, span) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":\"");
+        escape_into(&mut out, span.name);
+        out.push_str("\",\"cat\":\"spmm\",\"ph\":\"X\",\"ts\":");
+        out.push_str(&format!("{:.3}", span.start_us));
+        out.push_str(",\"dur\":");
+        out.push_str(&format!("{:.3}", span.dur_us));
+        out.push_str(",\"pid\":1,\"tid\":");
+        out.push_str(&span.tid.to_string());
+        if span.label.is_empty() {
+            out.push_str(",\"args\":{}}");
+        } else {
+            out.push_str(",\"args\":{\"label\":\"");
+            escape_into(&mut out, span.label);
+            out.push_str("\"}}");
+        }
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &'static str, label: &'static str) -> SpanEvent {
+        SpanEvent {
+            name,
+            label,
+            tid: 0,
+            depth: 0,
+            start_us: 1.5,
+            dur_us: 2.25,
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_valid_shell() {
+        assert_eq!(
+            chrome_trace_json(&[]),
+            "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}"
+        );
+    }
+
+    #[test]
+    fn events_serialize_with_required_fields() {
+        let json = chrome_trace_json(&[ev("convert", "csr"), ev("compute", "")]);
+        assert!(json.contains("\"name\":\"convert\""));
+        assert!(json.contains("\"args\":{\"label\":\"csr\"}"));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":1.500"));
+        assert!(json.contains("\"dur\":2.250"));
+        assert!(json.contains("\"args\":{}"));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let json = chrome_trace_json(&[ev("a\"b\\c", "")]);
+        assert!(json.contains("a\\\"b\\\\c"));
+    }
+}

@@ -1,0 +1,115 @@
+//! Runtime trace level: a process-global knob that gates every probe.
+
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Whether the `telemetry` cargo feature was compiled into this build.
+///
+/// All probe code compiles in both configurations; public entry points
+/// branch on this constant so the optimizer deletes the instrumented
+/// paths entirely when the feature is off.
+pub const COMPILED_IN: bool = cfg!(feature = "telemetry");
+
+/// How much telemetry to record at runtime.
+///
+/// The level is stored in a process-global atomic; probes read it with a
+/// relaxed load, so flipping it mid-run takes effect on the next probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum TraceLevel {
+    /// Record nothing. Probes are a single relaxed load + branch.
+    Off = 0,
+    /// Record phase spans and metrics (the default when tracing is on).
+    Spans = 1,
+    /// Additionally record per-thread worker timelines inside parallel
+    /// regions. Noticeably more events; use for chrome://tracing deep dives.
+    Full = 2,
+}
+
+impl TraceLevel {
+    fn from_u8(v: u8) -> TraceLevel {
+        match v {
+            1 => TraceLevel::Spans,
+            2 => TraceLevel::Full,
+            _ => TraceLevel::Off,
+        }
+    }
+
+    /// Canonical lower-case name, matching what `--trace-level` accepts.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceLevel::Off => "off",
+            TraceLevel::Spans => "spans",
+            TraceLevel::Full => "full",
+        }
+    }
+}
+
+impl FromStr for TraceLevel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" | "none" => Ok(TraceLevel::Off),
+            "spans" | "on" => Ok(TraceLevel::Spans),
+            "full" => Ok(TraceLevel::Full),
+            other => Err(format!(
+                "unknown trace level `{other}` (expected off, spans, or full)"
+            )),
+        }
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(0);
+
+/// Set the process-global trace level.
+pub fn set_trace_level(level: TraceLevel) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Read the current process-global trace level.
+///
+/// Always `Off` when the `telemetry` feature is compiled out.
+#[inline]
+pub fn trace_level() -> TraceLevel {
+    if !COMPILED_IN {
+        return TraceLevel::Off;
+    }
+    TraceLevel::from_u8(LEVEL.load(Ordering::Relaxed))
+}
+
+/// True when any telemetry should be recorded.
+///
+/// Const-folds to `false` when the `telemetry` feature is off, so callers
+/// can guard arbitrary probe code with `if spmm_trace::enabled() { .. }`
+/// and pay nothing in a compiled-out build.
+#[inline]
+pub fn enabled() -> bool {
+    COMPILED_IN && trace_level() != TraceLevel::Off
+}
+
+/// True when per-thread worker timelines should be recorded.
+#[inline]
+pub fn full_enabled() -> bool {
+    COMPILED_IN && trace_level() == TraceLevel::Full
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parses_and_round_trips() {
+        for level in [TraceLevel::Off, TraceLevel::Spans, TraceLevel::Full] {
+            assert_eq!(level.name().parse::<TraceLevel>().unwrap(), level);
+        }
+        assert_eq!("on".parse::<TraceLevel>().unwrap(), TraceLevel::Spans);
+        assert!("verbose".parse::<TraceLevel>().is_err());
+    }
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(TraceLevel::Off < TraceLevel::Spans);
+        assert!(TraceLevel::Spans < TraceLevel::Full);
+    }
+}

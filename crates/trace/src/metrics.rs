@@ -1,0 +1,364 @@
+//! Process-global metrics registry: counters, gauges, and log₂ histograms.
+//!
+//! Metrics are registered lazily by name and leaked, so probe sites hold a
+//! `&'static` handle and record with a single atomic op. Snapshots are
+//! cheap and subtractable, which is how `run-studies` attributes counter
+//! deltas to individual studies.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::level::COMPILED_IN;
+
+/// Number of log₂ buckets in a [`Histogram`] (values up to 2⁶³).
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Monotonic counter. `add` is a single relaxed fetch-add.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Add `n` to the counter. No-op when telemetry is compiled out.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if COMPILED_IN {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins gauge for point-in-time values (occupancy, chunk size).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Set the gauge. No-op when telemetry is compiled out.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if COMPILED_IN {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Log₂-bucketed histogram of `u64` samples (bucket i counts values whose
+/// highest set bit is i; zero lands in bucket 0).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one sample. No-op when telemetry is compiled out.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if COMPILED_IN {
+            let bucket = (63 - v.max(1).leading_zeros()) as usize;
+            self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+            self.count.fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded samples, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Occupied buckets as `(bucket_floor, count)` pairs, lowest first.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        (0..HISTOGRAM_BUCKETS)
+            .filter_map(|i| {
+                let c = self.buckets[i].load(Ordering::Relaxed);
+                (c > 0).then_some((1u64 << i, c))
+            })
+            .collect()
+    }
+}
+
+struct Registry {
+    counters: Vec<(&'static str, &'static Counter)>,
+    gauges: Vec<(&'static str, &'static Gauge)>,
+    histograms: Vec<(&'static str, &'static Histogram)>,
+}
+
+static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
+    counters: Vec::new(),
+    gauges: Vec::new(),
+    histograms: Vec::new(),
+});
+
+fn leak_name(name: &str) -> &'static str {
+    Box::leak(name.to_owned().into_boxed_str())
+}
+
+/// Look up (or register) the counter named `name`.
+pub fn counter(name: &str) -> &'static Counter {
+    let mut reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some((_, c)) = reg.counters.iter().find(|(n, _)| *n == name) {
+        return c;
+    }
+    let entry: &'static Counter = Box::leak(Box::default());
+    reg.counters.push((leak_name(name), entry));
+    entry
+}
+
+/// Look up (or register) the gauge named `name`.
+pub fn gauge(name: &str) -> &'static Gauge {
+    let mut reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some((_, g)) = reg.gauges.iter().find(|(n, _)| *n == name) {
+        return g;
+    }
+    let entry: &'static Gauge = Box::leak(Box::default());
+    reg.gauges.push((leak_name(name), entry));
+    entry
+}
+
+/// Look up (or register) the histogram named `name`.
+pub fn histogram(name: &str) -> &'static Histogram {
+    let mut reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some((_, h)) = reg.histograms.iter().find(|(n, _)| *n == name) {
+        return h;
+    }
+    let entry: &'static Histogram = Box::leak(Box::default());
+    reg.histograms.push((leak_name(name), entry));
+    entry
+}
+
+/// Aggregated histogram state inside a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Occupied `(bucket_floor, count)` pairs, lowest bucket first.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Point-in-time copy of every registered metric, sorted by name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` for every counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, state)` for every histogram.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Capture the current value of every registered metric.
+    pub fn capture() -> MetricsSnapshot {
+        let reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+        let mut counters: Vec<(String, u64)> = reg
+            .counters
+            .iter()
+            .map(|(n, c)| (n.to_string(), c.get()))
+            .collect();
+        let mut gauges: Vec<(String, i64)> = reg
+            .gauges
+            .iter()
+            .map(|(n, g)| (n.to_string(), g.get()))
+            .collect();
+        let mut histograms: Vec<(String, HistogramSnapshot)> = reg
+            .histograms
+            .iter()
+            .map(|(n, h)| {
+                (
+                    n.to_string(),
+                    HistogramSnapshot {
+                        count: h.count(),
+                        sum: h.sum(),
+                        buckets: h.nonzero_buckets(),
+                    },
+                )
+            })
+            .collect();
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Counter value by name, or `None` if unregistered at capture time.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Histogram state by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Difference `self - earlier`: counters and histogram counts/sums are
+    /// subtracted (saturating); gauges keep their value from `self`.
+    /// Metrics registered after `earlier` show their full value.
+    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(n, v)| (n.clone(), v.saturating_sub(earlier.counter(n).unwrap_or(0))))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(n, h)| {
+                let base = earlier.histogram(n);
+                let mut buckets: Vec<(u64, u64)> = h
+                    .buckets
+                    .iter()
+                    .map(|&(floor, c)| {
+                        let base_c = base
+                            .and_then(|b| b.buckets.iter().find(|(f, _)| *f == floor))
+                            .map(|(_, c)| *c)
+                            .unwrap_or(0);
+                        (floor, c.saturating_sub(base_c))
+                    })
+                    .collect();
+                buckets.retain(|&(_, c)| c > 0);
+                (
+                    n.clone(),
+                    HistogramSnapshot {
+                        count: h.count.saturating_sub(base.map_or(0, |b| b.count)),
+                        sum: h.sum.saturating_sub(base.map_or(0, |b| b.sum)),
+                        buckets,
+                    },
+                )
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges: self.gauges.clone(),
+            histograms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::serial_guard;
+
+    #[test]
+    #[cfg(feature = "telemetry")]
+    fn counters_accumulate_and_delta() {
+        let _lock = serial_guard();
+        let c = counter("test.counter.accumulate");
+        let before = MetricsSnapshot::capture();
+        c.add(5);
+        c.inc();
+        let after = MetricsSnapshot::capture();
+        let delta = after.delta_since(&before);
+        assert_eq!(delta.counter("test.counter.accumulate"), Some(6));
+    }
+
+    #[test]
+    fn registry_deduplicates_by_name() {
+        let _lock = serial_guard();
+        let a = counter("test.counter.dedup");
+        let b = counter("test.counter.dedup");
+        assert!(std::ptr::eq(a, b));
+    }
+
+    #[test]
+    #[cfg(feature = "telemetry")]
+    fn gauges_hold_last_value() {
+        let _lock = serial_guard();
+        let g = gauge("test.gauge");
+        g.set(7);
+        g.set(-3);
+        assert_eq!(MetricsSnapshot::capture().gauge("test.gauge"), Some(-3));
+    }
+
+    #[test]
+    #[cfg(feature = "telemetry")]
+    fn histogram_buckets_by_log2() {
+        let _lock = serial_guard();
+        let h = histogram("test.hist.log2");
+        let before = MetricsSnapshot::capture();
+        h.record(0); // bucket 1 (floor 1)
+        h.record(1); // bucket 1
+        h.record(5); // bucket 4
+        h.record(8); // bucket 8
+        let delta = MetricsSnapshot::capture().delta_since(&before);
+        let snap = delta.histogram("test.hist.log2").unwrap();
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.sum, 14);
+        assert!((snap.mean() - 3.5).abs() < 1e-12);
+        assert_eq!(snap.buckets, vec![(1, 2), (4, 1), (8, 1)]);
+    }
+}

@@ -1,0 +1,228 @@
+//! Hierarchical span timers with RAII guards.
+//!
+//! A span measures one phase (`convert`, `pack`, `compute`, ...) on one
+//! thread. Nesting is implicit: spans that start while another span on
+//! the same thread is still open become its children in the phase tree.
+//! Completed spans land in a process-global buffer that the harness
+//! drains into the chrome trace / phase-tree sinks.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::level;
+
+/// One completed span, in microseconds relative to the trace epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// Static phase name, e.g. `"compute"`.
+    pub name: &'static str,
+    /// Optional static qualifier, e.g. the kernel variant. Empty when unused.
+    pub label: &'static str,
+    /// Trace-local thread id (dense, assigned in first-use order).
+    pub tid: u64,
+    /// Nesting depth on this thread at the time the span opened (0 = root).
+    pub depth: u32,
+    /// Start time in µs since the trace epoch.
+    pub start_us: f64,
+    /// Duration in µs.
+    pub dur_us: f64,
+}
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static EVENTS: Mutex<Vec<SpanEvent>> = Mutex::new(Vec::new());
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static THREAD_TID: Cell<u64> = const { Cell::new(u64::MAX) };
+    static THREAD_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn thread_tid() -> u64 {
+    THREAD_TID.with(|t| {
+        let mut tid = t.get();
+        if tid == u64::MAX {
+            tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            t.set(tid);
+        }
+        tid
+    })
+}
+
+/// RAII guard returned by [`span`]: records a [`SpanEvent`] on drop.
+///
+/// Inert (no clock read, no allocation) when tracing is disabled.
+#[must_use = "a span guard measures until it is dropped"]
+pub struct SpanGuard {
+    live: Option<LiveSpan>,
+}
+
+struct LiveSpan {
+    name: &'static str,
+    label: &'static str,
+    tid: u64,
+    depth: u32,
+    start: Instant,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(live) = self.live.take() else { return };
+        let end = Instant::now();
+        THREAD_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let ep = epoch();
+        let event = SpanEvent {
+            name: live.name,
+            label: live.label,
+            tid: live.tid,
+            depth: live.depth,
+            start_us: live.start.duration_since(ep).as_secs_f64() * 1e6,
+            dur_us: end.duration_since(live.start).as_secs_f64() * 1e6,
+        };
+        if let Ok(mut events) = EVENTS.lock() {
+            events.push(event);
+        }
+    }
+}
+
+/// Open a span named `name`; it closes (and records) when the guard drops.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    span_labeled(name, "")
+}
+
+/// Open a span with a qualifier label, e.g. `span_labeled("compute", "simd")`.
+#[inline]
+pub fn span_labeled(name: &'static str, label: &'static str) -> SpanGuard {
+    if !level::enabled() {
+        return SpanGuard { live: None };
+    }
+    // Touch the epoch before reading the clock so start_us is never negative.
+    epoch();
+    let tid = thread_tid();
+    let depth = THREAD_DEPTH.with(|d| {
+        let depth = d.get();
+        d.set(depth + 1);
+        depth
+    });
+    SpanGuard {
+        live: Some(LiveSpan {
+            name,
+            label,
+            tid,
+            depth,
+            start: Instant::now(),
+        }),
+    }
+}
+
+/// Open a span; sugar for [`span`] / [`span_labeled`].
+///
+/// ```
+/// let _g = spmm_trace::span!("pack_panels");
+/// let _g = spmm_trace::span!("compute", "simd");
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+    ($name:expr, $label:expr) => {
+        $crate::span_labeled($name, $label)
+    };
+}
+
+/// Number of completed spans recorded so far.
+pub fn span_count() -> usize {
+    EVENTS.lock().map(|e| e.len()).unwrap_or(0)
+}
+
+/// Clone the spans recorded at or after index `start` (from [`span_count`]).
+pub fn spans_since(start: usize) -> Vec<SpanEvent> {
+    EVENTS
+        .lock()
+        .map(|e| e.get(start..).unwrap_or(&[]).to_vec())
+        .unwrap_or_default()
+}
+
+/// Drain and return every recorded span.
+pub fn take_spans() -> Vec<SpanEvent> {
+    EVENTS
+        .lock()
+        .map(|mut e| std::mem::take(&mut *e))
+        .unwrap_or_default()
+}
+
+/// Discard every recorded span.
+pub fn clear_spans() {
+    if let Ok(mut e) = EVENTS.lock() {
+        e.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::level::{set_trace_level, TraceLevel};
+    use crate::testing::serial_guard;
+
+    #[test]
+    #[cfg(feature = "telemetry")]
+    fn spans_nest_and_record() {
+        let _lock = serial_guard();
+        set_trace_level(TraceLevel::Spans);
+        clear_spans();
+        {
+            let _outer = span!("outer");
+            let _inner = span!("inner", "x");
+        }
+        set_trace_level(TraceLevel::Off);
+        let spans = take_spans();
+        assert_eq!(spans.len(), 2);
+        // Inner drops first.
+        assert_eq!(spans[0].name, "inner");
+        assert_eq!(spans[0].label, "x");
+        assert_eq!(spans[0].depth, 1);
+        assert_eq!(spans[1].name, "outer");
+        assert_eq!(spans[1].depth, 0);
+        assert_eq!(spans[0].tid, spans[1].tid);
+        assert!(spans[0].start_us >= spans[1].start_us);
+        assert!(spans[0].dur_us <= spans[1].dur_us + 1.0);
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _lock = serial_guard();
+        set_trace_level(TraceLevel::Off);
+        clear_spans();
+        {
+            let _g = span!("ghost");
+        }
+        assert_eq!(span_count(), 0);
+    }
+
+    #[test]
+    #[cfg(feature = "telemetry")]
+    fn spans_since_sees_only_new_events() {
+        let _lock = serial_guard();
+        set_trace_level(TraceLevel::Spans);
+        clear_spans();
+        {
+            let _g = span!("first");
+        }
+        let mark = span_count();
+        {
+            let _g = span!("second");
+        }
+        set_trace_level(TraceLevel::Off);
+        let tail = spans_since(mark);
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].name, "second");
+        clear_spans();
+    }
+}

@@ -1,0 +1,209 @@
+//! Phase-tree aggregation: fold recorded spans into a nested summary.
+//!
+//! Spans from all threads are merged into one tree keyed by span name
+//! (plus label, rendered as `name[label]`). Parent/child relationships
+//! are recovered per thread from interval containment, so the tree shape
+//! matches what chrome://tracing would show, but aggregated across
+//! repetitions: a `compute` span entered once per iteration collapses
+//! into a single node with `count == iterations`.
+
+use crate::span::SpanEvent;
+
+/// One aggregated node in the phase tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseNode {
+    /// Span key: the name, with the label appended as `name[label]`.
+    pub key: String,
+    /// How many spans folded into this node.
+    pub count: u64,
+    /// Total wall time across those spans, µs.
+    pub total_us: f64,
+    /// Child nodes in first-seen order.
+    pub children: Vec<PhaseNode>,
+}
+
+impl PhaseNode {
+    /// Time not attributed to any child, µs (clamped at zero).
+    pub fn self_us(&self) -> f64 {
+        let child_total: f64 = self.children.iter().map(|c| c.total_us).sum();
+        (self.total_us - child_total).max(0.0)
+    }
+}
+
+fn span_key(ev: &SpanEvent) -> String {
+    if ev.label.is_empty() {
+        ev.name.to_string()
+    } else {
+        format!("{}[{}]", ev.name, ev.label)
+    }
+}
+
+fn insert(nodes: &mut Vec<PhaseNode>, path: &[String], dur_us: f64) {
+    let (head, rest) = match path.split_first() {
+        Some(split) => split,
+        None => return,
+    };
+    let node = match nodes.iter_mut().position(|n| &n.key == head) {
+        Some(i) => &mut nodes[i],
+        None => {
+            nodes.push(PhaseNode {
+                key: head.clone(),
+                count: 0,
+                total_us: 0.0,
+                children: Vec::new(),
+            });
+            nodes.last_mut().expect("just pushed")
+        }
+    };
+    if rest.is_empty() {
+        node.count += 1;
+        node.total_us += dur_us;
+    } else {
+        insert(&mut node.children, rest, dur_us);
+    }
+}
+
+/// Build the aggregated phase tree from a slice of recorded spans.
+pub fn phase_tree(spans: &[SpanEvent]) -> Vec<PhaseNode> {
+    let mut tids: Vec<u64> = spans.iter().map(|s| s.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+
+    let mut roots: Vec<PhaseNode> = Vec::new();
+    for tid in tids {
+        let mut events: Vec<&SpanEvent> = spans.iter().filter(|s| s.tid == tid).collect();
+        // Parents start no later than their children and end no earlier;
+        // sorting by (start asc, dur desc, depth asc) visits each parent
+        // before anything it contains.
+        events.sort_by(|a, b| {
+            a.start_us
+                .partial_cmp(&b.start_us)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(
+                    b.dur_us
+                        .partial_cmp(&a.dur_us)
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
+                .then(a.depth.cmp(&b.depth))
+        });
+        let mut stack: Vec<(f64, u32, String)> = Vec::new(); // (end_us, depth, key)
+        for ev in events {
+            while let Some(&(end, depth, _)) = stack.last() {
+                let contained = ev.depth > depth && ev.start_us + ev.dur_us <= end + 0.5;
+                if contained {
+                    break;
+                }
+                stack.pop();
+            }
+            let mut path: Vec<String> = stack.iter().map(|(_, _, k)| k.clone()).collect();
+            path.push(span_key(ev));
+            insert(&mut roots, &path, ev.dur_us);
+            stack.push((ev.start_us + ev.dur_us, ev.depth, span_key(ev)));
+        }
+    }
+    roots
+}
+
+fn render_node(out: &mut String, node: &PhaseNode, indent: usize, width: usize) {
+    let pad = "  ".repeat(indent);
+    let key_width = width.saturating_sub(pad.len());
+    out.push_str(&format!(
+        "{pad}{:<key_width$} {:>6}x {:>10.3} ms\n",
+        node.key,
+        node.count,
+        node.total_us / 1e3,
+    ));
+    for child in &node.children {
+        render_node(out, child, indent + 1, width);
+    }
+}
+
+fn max_width(nodes: &[PhaseNode], indent: usize) -> usize {
+    nodes
+        .iter()
+        .map(|n| (indent * 2 + n.key.len()).max(max_width(&n.children, indent + 1)))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Render a phase tree as aligned plain text (one line per node).
+pub fn render_phase_tree(nodes: &[PhaseNode]) -> String {
+    let width = max_width(nodes, 0).max(12);
+    let mut out = String::new();
+    for node in nodes {
+        render_node(&mut out, node, 0, width);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &'static str, tid: u64, depth: u32, start: f64, dur: f64) -> SpanEvent {
+        SpanEvent {
+            name,
+            label: "",
+            tid,
+            depth,
+            start_us: start,
+            dur_us: dur,
+        }
+    }
+
+    #[test]
+    fn nesting_recovers_from_intervals() {
+        let spans = vec![
+            ev("inner", 0, 1, 10.0, 5.0),
+            ev("outer", 0, 0, 0.0, 100.0),
+            ev("inner", 0, 1, 40.0, 5.0),
+        ];
+        let tree = phase_tree(&spans);
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree[0].key, "outer");
+        assert_eq!(tree[0].count, 1);
+        assert_eq!(tree[0].children.len(), 1);
+        assert_eq!(tree[0].children[0].key, "inner");
+        assert_eq!(tree[0].children[0].count, 2);
+        assert!((tree[0].children[0].total_us - 10.0).abs() < 1e-9);
+        assert!((tree[0].self_us() - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sibling_roots_stay_separate() {
+        let spans = vec![ev("format", 0, 0, 0.0, 10.0), ev("calc", 0, 0, 20.0, 30.0)];
+        let tree = phase_tree(&spans);
+        assert_eq!(tree.len(), 2);
+        assert_eq!(tree[0].key, "format");
+        assert_eq!(tree[1].key, "calc");
+    }
+
+    #[test]
+    fn threads_merge_by_key() {
+        let spans = vec![
+            ev("compute", 0, 0, 0.0, 10.0),
+            ev("compute", 1, 0, 0.0, 20.0),
+        ];
+        let tree = phase_tree(&spans);
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree[0].count, 2);
+        assert!((tree[0].total_us - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn labels_appear_in_keys_and_render() {
+        let spans = vec![SpanEvent {
+            name: "compute",
+            label: "simd",
+            tid: 0,
+            depth: 0,
+            start_us: 0.0,
+            dur_us: 1500.0,
+        }];
+        let tree = phase_tree(&spans);
+        assert_eq!(tree[0].key, "compute[simd]");
+        let text = render_phase_tree(&tree);
+        assert!(text.contains("compute[simd]"));
+        assert!(text.contains("1.500 ms"));
+    }
+}

@@ -96,13 +96,15 @@ impl SpmmBenchmark for DiaBenchmark {
         "dia/serial/normal".to_string()
     }
 
-    fn format(&mut self) -> Result<(), String> {
+    fn format(&mut self) -> Result<(), spmm_bench::harness::HarnessError> {
         self.dia = Some(DiaMatrix::from_coo(&self.coo));
         Ok(())
     }
 
-    fn calc(&mut self) -> Result<(), String> {
-        let dia = self.dia.as_ref().ok_or("calc() before format()")?;
+    fn calc(&mut self) -> Result<(), spmm_bench::harness::HarnessError> {
+        let dia = self.dia.as_ref().ok_or_else(|| {
+            spmm_bench::harness::HarnessError::Calc("calc() before format()".into())
+        })?;
         dia.spmm(&self.b, self.k, &mut self.c);
         Ok(())
     }
