@@ -30,13 +30,13 @@ fn bench(c: &mut Criterion) {
         b.iter(|| std::hint::black_box(BellMatrix::from_csr(&csr, 4).unwrap()))
     });
     group.bench_function("csr5/cant", |b| {
-        b.iter(|| std::hint::black_box(Csr5Matrix::from_csr(&csr)))
+        b.iter(|| std::hint::black_box(Csr5Matrix::from_csr(&csr).unwrap()))
     });
     group.bench_function("sell/cant", |b| {
         b.iter(|| std::hint::black_box(SellMatrix::from_csr(&csr, 8, 64).unwrap()))
     });
     group.bench_function("hyb/cant", |b| {
-        b.iter(|| std::hint::black_box(HybMatrix::from_csr(&csr)))
+        b.iter(|| std::hint::black_box(HybMatrix::from_csr(&csr).unwrap()))
     });
     group.bench_function("bcsr-fast/cant/b4", |b| {
         b.iter(|| std::hint::black_box(BcsrMatrix::from_csr(&csr, 4).unwrap()))

@@ -118,9 +118,16 @@ impl<T: Scalar, I: Index> BcsrMatrix<T, I> {
         })
     }
 
-    /// Build from COO.
+    /// Build from COO, routed through the conversion graph's CSR hub.
     pub fn from_coo(coo: &CooMatrix<T, I>, b: usize) -> Result<Self, SparseError> {
-        Self::from_csr(&CsrMatrix::from_coo(coo), b)
+        crate::ConversionGraph::shared()
+            .convert_coo(
+                coo,
+                SparseFormat::Bcsr,
+                &crate::ConvertConfig::with_block(b),
+            )?
+            .matrix
+            .into_bcsr()
     }
 
     /// The thesis-style naive formatter, kept as an ablation baseline.

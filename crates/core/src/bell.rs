@@ -109,9 +109,16 @@ impl<T: Scalar, I: Index> BellMatrix<T, I> {
         })
     }
 
-    /// Build from COO.
+    /// Build from COO, routed through the conversion graph's CSR hub.
     pub fn from_coo(coo: &CooMatrix<T, I>, b: usize) -> Result<Self, SparseError> {
-        Self::from_csr(&CsrMatrix::from_coo(coo), b)
+        crate::ConversionGraph::shared()
+            .convert_coo(
+                coo,
+                SparseFormat::Bell,
+                &crate::ConvertConfig::with_block(b),
+            )?
+            .matrix
+            .into_bell()
     }
 
     /// Number of rows.

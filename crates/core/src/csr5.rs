@@ -47,8 +47,8 @@ pub const DEFAULT_TILE_SIZE: usize = 256;
 
 impl<T: Scalar, I: Index> Csr5Matrix<T, I> {
     /// Build from CSR with the default tile size.
-    pub fn from_csr(csr: &CsrMatrix<T, I>) -> Self {
-        Self::from_csr_with_tile(csr, DEFAULT_TILE_SIZE).expect("default tile size is nonzero")
+    pub fn from_csr(csr: &CsrMatrix<T, I>) -> Result<Self, SparseError> {
+        Self::from_csr_with_tile(csr, DEFAULT_TILE_SIZE)
     }
 
     /// Build from CSR with an explicit tile size (entries per tile).
@@ -109,9 +109,13 @@ impl<T: Scalar, I: Index> Csr5Matrix<T, I> {
         })
     }
 
-    /// Build from COO with the default tile size.
-    pub fn from_coo(coo: &CooMatrix<T, I>) -> Self {
-        Self::from_csr(&CsrMatrix::from_coo(coo))
+    /// Build from COO with the default tile size, routed through the
+    /// conversion graph's CSR hub.
+    pub fn from_coo(coo: &CooMatrix<T, I>) -> Result<Self, SparseError> {
+        crate::ConversionGraph::shared()
+            .convert_coo(coo, SparseFormat::Csr5, &crate::ConvertConfig::default())?
+            .matrix
+            .into_csr5()
     }
 
     /// Number of rows.
@@ -286,7 +290,7 @@ mod tests {
     #[test]
     fn roundtrip_through_coo() {
         let coo = sample();
-        let m = Csr5Matrix::from_coo(&coo);
+        let m = Csr5Matrix::from_coo(&coo).unwrap();
         assert_eq!(m.to_coo(), coo.to_coo());
         assert_eq!(m.to_dense(), coo.to_dense());
     }
@@ -310,7 +314,7 @@ mod tests {
     #[test]
     fn empty_matrix() {
         let coo = CooMatrix::<f64>::new(3, 3);
-        let m = Csr5Matrix::from_coo(&coo);
+        let m = Csr5Matrix::from_coo(&coo).unwrap();
         assert_eq!(m.ntiles(), 0);
         assert_eq!(m.nnz(), 0);
     }

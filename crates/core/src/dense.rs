@@ -104,6 +104,32 @@ impl<T: Scalar> DenseMatrix<T> {
         self.data.fill(T::ZERO);
     }
 
+    /// Reshape in place to `rows × cols` with every element zero, reusing
+    /// the existing allocation when it is large enough. Returns `true` if
+    /// the buffer had to grow (i.e. an allocation happened).
+    pub fn reset(&mut self, rows: usize, cols: usize) -> bool {
+        let need = rows * cols;
+        let grew = need > self.data.capacity();
+        self.data.clear();
+        self.data.resize(need, T::ZERO);
+        self.rows = rows;
+        self.cols = cols;
+        grew
+    }
+
+    /// [`DenseMatrix::transposed`] writing into a caller-owned buffer.
+    /// Returns `true` if `out` had to grow.
+    pub fn transposed_into(&self, out: &mut DenseMatrix<T>) -> bool {
+        let grew = out.reset(self.cols, self.rows);
+        for i in 0..self.rows {
+            let src = self.row(i);
+            for (j, &v) in src.iter().enumerate() {
+                out.data[j * self.rows + i] = v;
+            }
+        }
+        grew
+    }
+
     /// An owned transpose (`cols × rows`).
     ///
     /// This is the explicit pre-pass of the paper's Study 8: transposing B
@@ -174,6 +200,28 @@ impl<T: Scalar> PackedPanels<T> {
     /// # Panics
     /// If `k` exceeds `b.cols()` or `panel_w` is zero.
     pub fn pack(b: &DenseMatrix<T>, k: usize, panel_w: usize) -> Self {
+        let mut out = PackedPanels::empty();
+        out.pack_into(b, k, panel_w);
+        out
+    }
+
+    /// A zero-capacity pack buffer for [`PackedPanels::pack_into`] reuse.
+    pub fn empty() -> Self {
+        PackedPanels {
+            b_rows: 0,
+            k: 0,
+            panel_w: 1,
+            data: Vec::new(),
+            offsets: vec![0],
+        }
+    }
+
+    /// [`PackedPanels::pack`] writing into this buffer, reusing its
+    /// allocations when large enough. Returns `true` if a buffer grew.
+    ///
+    /// # Panics
+    /// If `k` exceeds `b.cols()` or `panel_w` is zero.
+    pub fn pack_into(&mut self, b: &DenseMatrix<T>, k: usize, panel_w: usize) -> bool {
         assert!(
             k <= b.cols(),
             "cannot pack {k} columns of a {}-column B",
@@ -182,24 +230,22 @@ impl<T: Scalar> PackedPanels<T> {
         assert!(panel_w > 0, "panel width must be positive");
         let b_rows = b.rows();
         let n_panels = k.div_ceil(panel_w).max(1);
-        let mut offsets = Vec::with_capacity(n_panels + 1);
-        let mut data = Vec::with_capacity(b_rows * k);
-        offsets.push(0);
+        let grew = b_rows * k > self.data.capacity() || n_panels + 1 > self.offsets.capacity();
+        self.data.clear();
+        self.offsets.clear();
+        self.offsets.push(0);
         for p in 0..n_panels {
             let lo = p * panel_w;
             let hi = (lo + panel_w).min(k);
             for row in 0..b_rows {
-                data.extend_from_slice(&b.row(row)[lo..hi]);
+                self.data.extend_from_slice(&b.row(row)[lo..hi]);
             }
-            offsets.push(data.len());
+            self.offsets.push(self.data.len());
         }
-        PackedPanels {
-            b_rows,
-            k,
-            panel_w,
-            data,
-            offsets,
-        }
+        self.b_rows = b_rows;
+        self.k = k;
+        self.panel_w = panel_w;
+        grew
     }
 
     /// Rows of the packed B.

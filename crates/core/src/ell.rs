@@ -25,22 +25,28 @@ pub struct EllMatrix<T, I = usize> {
 }
 
 impl<T: Scalar, I: Index> EllMatrix<T, I> {
-    /// Build from CSR with `width` equal to the fullest row.
+    /// Build from CSR with `width` equal to the fullest row. The natural
+    /// width always fits, so this constructor cannot fail.
     pub fn from_csr(csr: &CsrMatrix<T, I>) -> Self {
         let width = (0..csr.rows()).map(|i| csr.row_nnz(i)).max().unwrap_or(0);
-        Self::from_csr_with_width(csr, width).expect("natural width always fits")
+        Self::build(csr, width)
     }
 
     /// Build from CSR with an explicit `width >= max_row_nnz`.
     pub fn from_csr_with_width(csr: &CsrMatrix<T, I>, width: usize) -> Result<Self, SparseError> {
-        let rows = csr.rows();
-        let cols = csr.cols();
-        let max_nnz = (0..rows).map(|i| csr.row_nnz(i)).max().unwrap_or(0);
+        let max_nnz = (0..csr.rows()).map(|i| csr.row_nnz(i)).max().unwrap_or(0);
         if width < max_nnz {
             return Err(SparseError::ShapeMismatch {
                 detail: format!("ELL width {width} is below the fullest row ({max_nnz})"),
             });
         }
+        Ok(Self::build(csr, width))
+    }
+
+    /// Shared body once `width` is known to cover the fullest row.
+    fn build(csr: &CsrMatrix<T, I>, width: usize) -> Self {
+        let rows = csr.rows();
+        let cols = csr.cols();
         let mut col_idx = vec![I::default(); rows * width];
         let mut values = vec![T::ZERO; rows * width];
         for i in 0..rows {
@@ -60,19 +66,22 @@ impl<T: Scalar, I: Index> EllMatrix<T, I> {
                 col_idx[base + s] = I::from_usize(pad_col);
             }
         }
-        Ok(EllMatrix {
+        EllMatrix {
             rows,
             cols,
             width,
             col_idx,
             values,
             nnz: csr.nnz(),
-        })
+        }
     }
 
-    /// Build from COO.
-    pub fn from_coo(coo: &CooMatrix<T, I>) -> Self {
-        Self::from_csr(&CsrMatrix::from_coo(coo))
+    /// Build from COO, routed through the conversion graph's CSR hub.
+    pub fn from_coo(coo: &CooMatrix<T, I>) -> Result<Self, SparseError> {
+        crate::ConversionGraph::shared()
+            .convert_coo(coo, SparseFormat::Ell, &crate::ConvertConfig::default())?
+            .matrix
+            .into_ell()
     }
 
     /// Number of rows.
@@ -193,7 +202,7 @@ mod tests {
 
     #[test]
     fn width_is_fullest_row() {
-        let ell = EllMatrix::from_coo(&sample());
+        let ell = EllMatrix::from_coo(&sample()).unwrap();
         assert_eq!(ell.width(), 3);
         assert_eq!(ell.padded_len(), 12);
         assert_eq!(ell.nnz(), 6);
@@ -201,7 +210,7 @@ mod tests {
 
     #[test]
     fn padding_repeats_last_column() {
-        let ell = EllMatrix::from_coo(&sample());
+        let ell = EllMatrix::from_coo(&sample()).unwrap();
         // Row 1 has one entry at column 2; the two pad slots repeat column 2.
         let cols: Vec<usize> = ell.row_cols(1).iter().map(|c| c.as_usize()).collect();
         assert_eq!(cols, vec![2, 2, 2]);
@@ -214,7 +223,7 @@ mod tests {
     #[test]
     fn dense_roundtrip_ignores_padding() {
         let coo = sample();
-        let ell = EllMatrix::from_coo(&coo);
+        let ell = EllMatrix::from_coo(&coo).unwrap();
         assert_eq!(ell.to_dense(), coo.to_dense());
         assert_eq!(ell.to_coo(), coo.to_coo());
     }
@@ -230,7 +239,7 @@ mod tests {
 
     #[test]
     fn padding_fraction() {
-        let ell = EllMatrix::from_coo(&sample());
+        let ell = EllMatrix::from_coo(&sample()).unwrap();
         assert!((ell.padding_fraction() - 0.5).abs() < 1e-12);
 
         // A perfectly regular matrix has zero padding.
@@ -240,13 +249,13 @@ mod tests {
             &[(0, 0, 1.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 1.0)],
         )
         .unwrap();
-        assert_eq!(EllMatrix::from_coo(&reg).padding_fraction(), 0.0);
+        assert_eq!(EllMatrix::from_coo(&reg).unwrap().padding_fraction(), 0.0);
     }
 
     #[test]
     fn empty_matrix() {
         let coo = CooMatrix::<f64>::new(3, 3);
-        let ell = EllMatrix::from_coo(&coo);
+        let ell = EllMatrix::from_coo(&coo).unwrap();
         assert_eq!(ell.width(), 0);
         assert_eq!(ell.padded_len(), 0);
         assert_eq!(ell.padding_fraction(), 0.0);

@@ -32,6 +32,13 @@ pub enum SparseError {
     Parse(String),
     /// Underlying I/O failure.
     Io(std::io::Error),
+    /// The conversion graph has no path between two formats.
+    NoRoute {
+        /// Source format.
+        from: crate::SparseFormat,
+        /// Target format.
+        to: crate::SparseFormat,
+    },
 }
 
 impl fmt::Display for SparseError {
@@ -54,6 +61,9 @@ impl fmt::Display for SparseError {
             }
             SparseError::Parse(msg) => write!(f, "parse error: {msg}"),
             SparseError::Io(e) => write!(f, "i/o error: {e}"),
+            SparseError::NoRoute { from, to } => {
+                write!(f, "no conversion route from {from} to {to}")
+            }
         }
     }
 }

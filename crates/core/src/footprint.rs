@@ -132,7 +132,7 @@ mod tests {
             trips.push((0, j, 2.0));
         }
         let coo = CooMatrix::<f64>::from_triplets(20, 20, &trips).unwrap();
-        let ell = EllMatrix::from_coo(&coo);
+        let ell = EllMatrix::from_coo(&coo).unwrap();
         let csr = CsrMatrix::from_coo(&coo);
         assert!(ell.memory_footprint() > 5 * csr.memory_footprint());
     }
@@ -158,7 +158,7 @@ mod tests {
         let csr = CsrMatrix::from_coo(&coo);
         assert!(CscMatrix::from_coo(&coo).memory_footprint() > 0);
         assert!(BellMatrix::from_csr(&csr, 2).unwrap().memory_footprint() > 0);
-        assert!(Csr5Matrix::from_csr(&csr).memory_footprint() > 0);
+        assert!(Csr5Matrix::from_csr(&csr).unwrap().memory_footprint() > 0);
         assert!(EllMatrix::from_csr(&csr).memory_footprint() > 0);
     }
 }

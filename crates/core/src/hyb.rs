@@ -47,9 +47,9 @@ fn choose_width(row_counts: &[usize], coverage: f64) -> usize {
 impl<T: Scalar, I: Index> HybMatrix<T, I> {
     /// Build from CSR with an automatically chosen ELL width (≥ 95% of
     /// the nonzeros in the regular part).
-    pub fn from_csr(csr: &CsrMatrix<T, I>) -> Self {
+    pub fn from_csr(csr: &CsrMatrix<T, I>) -> Result<Self, SparseError> {
         let counts: Vec<usize> = (0..csr.rows()).map(|i| csr.row_nnz(i)).collect();
-        Self::from_csr_with_width(csr, choose_width(&counts, 0.95)).expect("chosen width is valid")
+        Self::from_csr_with_width(csr, choose_width(&counts, 0.95))
     }
 
     /// Build from CSR with an explicit ELL width.
@@ -77,9 +77,13 @@ impl<T: Scalar, I: Index> HybMatrix<T, I> {
         Ok(HybMatrix { ell, tail })
     }
 
-    /// Build from COO with the automatic width.
-    pub fn from_coo(coo: &CooMatrix<T, I>) -> Self {
-        Self::from_csr(&CsrMatrix::from_coo(coo))
+    /// Build from COO with the automatic width, routed through the
+    /// conversion graph's CSR hub.
+    pub fn from_coo(coo: &CooMatrix<T, I>) -> Result<Self, SparseError> {
+        crate::ConversionGraph::shared()
+            .convert_coo(coo, SparseFormat::Hyb, &crate::ConvertConfig::default())?
+            .matrix
+            .into_hyb()
     }
 
     /// The regular ELL part.
@@ -168,7 +172,7 @@ mod tests {
     #[test]
     fn roundtrip_automatic_width() {
         let coo = skewed();
-        let hyb = HybMatrix::from_coo(&coo);
+        let hyb = HybMatrix::from_coo(&coo).unwrap();
         assert_eq!(hyb.to_dense(), coo.to_dense());
         assert_eq!(hyb.nnz(), coo.nnz());
     }
@@ -176,12 +180,12 @@ mod tests {
     #[test]
     fn monster_row_spills_to_the_tail() {
         let coo = skewed();
-        let hyb = HybMatrix::from_coo(&coo);
+        let hyb = HybMatrix::from_coo(&coo).unwrap();
         // The ELL width stays near the common degree, not the monster's.
         assert!(hyb.ell().width() <= 4, "width {}", hyb.ell().width());
         assert!(hyb.tail().nnz() > 10, "tail {}", hyb.tail().nnz());
         // HYB stores far fewer slots than plain ELL on this matrix.
-        let ell = EllMatrix::from_coo(&coo);
+        let ell = EllMatrix::from_coo(&coo).unwrap();
         assert!(hyb.stored_entries() < ell.stored_entries() / 2);
     }
 
@@ -209,7 +213,7 @@ mod tests {
                 .collect::<Vec<_>>(),
         )
         .unwrap();
-        let hyb = HybMatrix::from_coo(&coo);
+        let hyb = HybMatrix::from_coo(&coo).unwrap();
         assert_eq!(hyb.tail().nnz(), 0);
         assert_eq!(hyb.ell_fraction(), 1.0);
     }
@@ -229,7 +233,7 @@ mod tests {
     #[test]
     fn empty_matrix() {
         let coo = CooMatrix::<f64>::new(4, 4);
-        let hyb = HybMatrix::from_coo(&coo);
+        let hyb = HybMatrix::from_coo(&coo).unwrap();
         assert_eq!(hyb.nnz(), 0);
         assert_eq!(hyb.ell_fraction(), 1.0);
     }

@@ -38,6 +38,7 @@
 
 mod bcsr;
 mod bell;
+pub mod convert;
 mod coo;
 mod csc;
 mod csr;
@@ -56,6 +57,7 @@ mod verify;
 
 pub use bcsr::BcsrMatrix;
 pub use bell::BellMatrix;
+pub use convert::{AnyMatrix, ConversionGraph, ConvertConfig, Converted, MatrixStats};
 pub use coo::CooMatrix;
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;

@@ -107,9 +107,16 @@ impl<T: Scalar, I: Index> SellMatrix<T, I> {
         })
     }
 
-    /// Build from COO.
+    /// Build from COO, routed through the conversion graph's CSR hub.
     pub fn from_coo(coo: &CooMatrix<T, I>, c: usize, sigma: usize) -> Result<Self, SparseError> {
-        Self::from_csr(&CsrMatrix::from_coo(coo), c, sigma)
+        crate::ConversionGraph::shared()
+            .convert_coo(
+                coo,
+                SparseFormat::Sell,
+                &crate::ConvertConfig::with_sell(c, sigma),
+            )?
+            .matrix
+            .into_sell()
     }
 
     /// Build with the slice height matched to a SIMD lane count (Kreutzer
@@ -299,7 +306,7 @@ mod tests {
         // One slice spanning everything + no sorting = plain ELLPACK.
         let coo = skewed();
         let sell = SellMatrix::from_coo(&coo, 16, 1).unwrap();
-        let ell = crate::EllMatrix::from_coo(&coo);
+        let ell = crate::EllMatrix::from_coo(&coo).unwrap();
         assert_eq!(sell.padded_len(), ell.padded_len());
     }
 

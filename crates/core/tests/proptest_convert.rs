@@ -1,0 +1,70 @@
+//! Property tests on the conversion graph: converting between any two
+//! reachable formats preserves the matrix (values + structure) relative
+//! to the COO reference.
+
+use proptest::prelude::*;
+use spmm_core::{
+    ConversionGraph, ConvertConfig, CooMatrix, MatrixStats, SparseFormat, SparseMatrix,
+};
+
+/// A random sparse matrix with strictly nonzero values: blocked formats
+/// pad with explicit zeros and `to_coo` back-edges prune them, so zero
+/// values would make structure comparisons ambiguous.
+fn sparse_matrix() -> impl Strategy<Value = CooMatrix<f64>> {
+    (1usize..24, 1usize..24).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(
+            (0..rows, 0..cols, 1i32..100).prop_map(|(r, c, v)| (r, c, v as f64 / 4.0)),
+            0..64,
+        )
+        .prop_map(move |trips| {
+            // Duplicates sum to a positive value (all entries positive),
+            // so nothing collapses to an explicit zero.
+            CooMatrix::from_triplets(rows, cols, &trips).expect("in bounds")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For every reachable (from, to) pair: COO → from → to → COO equals
+    /// the original after pruning padding and sorting.
+    #[test]
+    fn every_reachable_pair_roundtrips(coo in sparse_matrix()) {
+        let graph = ConversionGraph::standard();
+        let cfg = ConvertConfig::default();
+        let reference = coo.to_coo();
+        for from in SparseFormat::ALL {
+            let source = graph.convert_coo(&coo, from, &cfg).unwrap().matrix;
+            for to in SparseFormat::ALL {
+                let stats = MatrixStats::of_coo(&coo);
+                let route = graph.route(from, to, &stats).unwrap();
+                prop_assert_eq!(route.first(), Some(&from));
+                prop_assert_eq!(route.last(), Some(&to));
+                let converted = graph.convert(source.clone(), to, &cfg).unwrap();
+                prop_assert_eq!(converted.route, route);
+                prop_assert_eq!(converted.matrix.format(), to);
+                let mut back = converted.matrix.to_coo_wide();
+                back.prune_zeros();
+                back.sort_and_sum_duplicates();
+                prop_assert_eq!(&back, &reference);
+            }
+        }
+    }
+
+    /// The direct `from_coo` entry point agrees with the reference too,
+    /// and reports a route that starts at COO.
+    #[test]
+    fn convert_coo_roundtrips(coo in sparse_matrix(), target_idx in 0usize..8) {
+        let graph = ConversionGraph::standard();
+        let target = SparseFormat::ALL[target_idx];
+        let converted = graph
+            .convert_coo(&coo, target, &ConvertConfig::default())
+            .unwrap();
+        prop_assert_eq!(converted.route.first(), Some(&SparseFormat::Coo));
+        let mut back = converted.matrix.to_coo_wide();
+        back.prune_zeros();
+        back.sort_and_sum_duplicates();
+        prop_assert_eq!(back, coo.to_coo());
+    }
+}

@@ -44,7 +44,7 @@ proptest! {
 
     #[test]
     fn ell_preserves_matrix_and_counts_padding(coo in sparse_matrix()) {
-        let ell = EllMatrix::from_coo(&coo);
+        let ell = EllMatrix::from_coo(&coo).unwrap();
         prop_assert_eq!(ell.to_dense(), coo.to_dense());
         prop_assert_eq!(ell.nnz(), coo.nnz());
         prop_assert!(ell.padded_len() >= ell.nnz());

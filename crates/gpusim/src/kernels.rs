@@ -20,6 +20,38 @@ pub const OPENMP_OFFLOAD_PENALTY: f64 = 2.5;
 /// Threads per block used by every kernel (the OpenMP default team size).
 pub const BLOCK: usize = 256;
 
+/// Reusable per-launch scratch: the accumulator row the CSR/ELL/SELL
+/// kernels keep per simulated thread. Simulated threads run sequentially,
+/// so one row suffices; reusing it across timed iterations removes the
+/// per-thread `vec![0; k]` the naive kernels would allocate. Growth and
+/// reuse feed the same `workspace.*` metrics the CPU arena reports.
+#[derive(Debug, Default)]
+pub struct GpuScratch<T> {
+    acc: Vec<T>,
+}
+
+impl<T: Scalar> GpuScratch<T> {
+    /// An empty scratch; the accumulator grows on first use.
+    pub fn new() -> Self {
+        GpuScratch { acc: Vec::new() }
+    }
+
+    fn acquire_acc(&mut self, k: usize) -> &mut Vec<T> {
+        let grew = k > self.acc.capacity();
+        if spmm_trace::enabled() {
+            if grew {
+                spmm_trace::counter("workspace.alloc_count").inc();
+                spmm_trace::counter("workspace.alloc_bytes").add((k * T::BYTES) as u64);
+            } else {
+                spmm_trace::counter("workspace.reuse_count").inc();
+            }
+        }
+        self.acc.clear();
+        self.acc.resize(k, T::ZERO);
+        &mut self.acc
+    }
+}
+
 /// Device bytes an SpMM launch needs: the formatted A payload plus B and C.
 pub fn device_bytes_required<T: Scalar>(
     a_payload_bytes: usize,
@@ -43,6 +75,18 @@ pub fn csr_spmm_gpu<T: Scalar, I: Index>(
     k: usize,
     c: &mut DenseMatrix<T>,
 ) -> LaunchStats {
+    csr_spmm_gpu_in(device, a, b, k, c, &mut GpuScratch::new())
+}
+
+/// [`csr_spmm_gpu`] with caller-owned scratch (zero steady-state allocs).
+pub fn csr_spmm_gpu_in<T: Scalar, I: Index>(
+    device: &DeviceProfile,
+    a: &CsrMatrix<T, I>,
+    b: &DenseMatrix<T>,
+    k: usize,
+    c: &mut DenseMatrix<T>,
+    scratch: &mut GpuScratch<T>,
+) -> LaunchStats {
     crate::kernels::check_shapes(a.rows(), a.cols(), b, k, c);
     let rows = a.rows();
     let bcols = b.cols();
@@ -53,6 +97,7 @@ pub fn csr_spmm_gpu<T: Scalar, I: Index>(
         runtime_penalty: OPENMP_OFFLOAD_PENALTY,
     };
     let c_slice = c.as_mut_slice();
+    let acc = scratch.acquire_acc(k);
     launch(device, LaunchConfig::cover(rows, BLOCK), cost, |tid, t| {
         if tid >= rows {
             return;
@@ -60,7 +105,7 @@ pub fn csr_spmm_gpu<T: Scalar, I: Index>(
         t.load(buf::A_PTR, tid * I::BYTES, 2 * I::BYTES);
         let lo = a.row_ptr()[tid].as_usize();
         let hi = a.row_ptr()[tid + 1].as_usize();
-        let mut acc = vec![T::ZERO; k];
+        acc.fill(T::ZERO);
         for e in lo..hi {
             t.load(buf::A_IDX, e * I::BYTES, I::BYTES);
             t.load(buf::A_VALS, e * T::BYTES, T::BYTES);
@@ -73,7 +118,7 @@ pub fn csr_spmm_gpu<T: Scalar, I: Index>(
             }
         }
         t.store(buf::C, tid * k * T::BYTES, k * T::BYTES);
-        c_slice[tid * k..(tid + 1) * k].copy_from_slice(&acc);
+        c_slice[tid * k..(tid + 1) * k].copy_from_slice(acc);
     })
 }
 
@@ -133,6 +178,18 @@ pub fn ell_spmm_gpu<T: Scalar, I: Index>(
     k: usize,
     c: &mut DenseMatrix<T>,
 ) -> LaunchStats {
+    ell_spmm_gpu_in(device, a, b, k, c, &mut GpuScratch::new())
+}
+
+/// [`ell_spmm_gpu`] with caller-owned scratch (zero steady-state allocs).
+pub fn ell_spmm_gpu_in<T: Scalar, I: Index>(
+    device: &DeviceProfile,
+    a: &EllMatrix<T, I>,
+    b: &DenseMatrix<T>,
+    k: usize,
+    c: &mut DenseMatrix<T>,
+    scratch: &mut GpuScratch<T>,
+) -> LaunchStats {
     crate::kernels::check_shapes(a.rows(), a.cols(), b, k, c);
     let rows = a.rows();
     let width = a.width();
@@ -145,11 +202,12 @@ pub fn ell_spmm_gpu<T: Scalar, I: Index>(
         runtime_penalty: OPENMP_OFFLOAD_PENALTY,
     };
     let c_slice = c.as_mut_slice();
+    let acc = scratch.acquire_acc(k);
     launch(device, LaunchConfig::cover(rows, BLOCK), cost, |tid, t| {
         if tid >= rows {
             return;
         }
-        let mut acc = vec![T::ZERO; k];
+        acc.fill(T::ZERO);
         let cols = a.row_cols(tid);
         let vals = a.row_vals(tid);
         for s in 0..width {
@@ -165,7 +223,7 @@ pub fn ell_spmm_gpu<T: Scalar, I: Index>(
             }
         }
         t.store(buf::C, tid * k * T::BYTES, k * T::BYTES);
-        c_slice[tid * k..(tid + 1) * k].copy_from_slice(&acc);
+        c_slice[tid * k..(tid + 1) * k].copy_from_slice(acc);
     })
 }
 
@@ -250,6 +308,18 @@ pub fn sell_spmm_gpu<T: Scalar, I: Index>(
     k: usize,
     c: &mut DenseMatrix<T>,
 ) -> LaunchStats {
+    sell_spmm_gpu_in(device, a, b, k, c, &mut GpuScratch::new())
+}
+
+/// [`sell_spmm_gpu`] with caller-owned scratch (zero steady-state allocs).
+pub fn sell_spmm_gpu_in<T: Scalar, I: Index>(
+    device: &DeviceProfile,
+    a: &spmm_core::SellMatrix<T, I>,
+    b: &DenseMatrix<T>,
+    k: usize,
+    c: &mut DenseMatrix<T>,
+    scratch: &mut GpuScratch<T>,
+) -> LaunchStats {
     crate::kernels::check_shapes(a.rows(), a.cols(), b, k, c);
     let rows = a.rows();
     let height = a.slice_height();
@@ -262,6 +332,7 @@ pub fn sell_spmm_gpu<T: Scalar, I: Index>(
         runtime_penalty: OPENMP_OFFLOAD_PENALTY,
     };
     let c_slice = c.as_mut_slice();
+    let acc = scratch.acquire_acc(k);
     launch(
         device,
         LaunchConfig::cover(padded_rows, BLOCK),
@@ -278,7 +349,7 @@ pub fn sell_spmm_gpu<T: Scalar, I: Index>(
             }
             let (base, width) = a.slice(s);
             let row = a.row_at(p);
-            let mut acc = vec![T::ZERO; k];
+            acc.fill(T::ZERO);
             for slot in 0..width {
                 let at = base + slot * height + lane;
                 // Lane-major storage: adjacent lanes read adjacent addresses.
@@ -295,7 +366,7 @@ pub fn sell_spmm_gpu<T: Scalar, I: Index>(
                 }
             }
             t.store(buf::C, row * k * T::BYTES, k * T::BYTES);
-            c_slice[row * k..(row + 1) * k].copy_from_slice(&acc);
+            c_slice[row * k..(row + 1) * k].copy_from_slice(acc);
         },
     )
 }
@@ -346,7 +417,7 @@ mod tests {
         let dev = DeviceProfile::h100();
         let (coo, b) = fixture();
         let csr = CsrMatrix::from_coo(&coo);
-        let ell = EllMatrix::from_coo(&coo);
+        let ell = EllMatrix::from_coo(&coo).unwrap();
         let bcsr = BcsrMatrix::from_coo(&coo, 4).unwrap();
         for k in [1, 8, 16] {
             let expected = coo.spmm_reference_k(&b, k);
@@ -373,7 +444,7 @@ mod tests {
         assert_eq!(c, expected);
         // The skewed fixture pads ELL hard; SELL's per-slice padding
         // executes fewer wasted flops, so its simulated time is no worse.
-        let ell = EllMatrix::from_coo(&coo);
+        let ell = EllMatrix::from_coo(&coo).unwrap();
         let ell_stats = ell_spmm_gpu(&dev, &ell, &b, 16, &mut c);
         assert!(sell.padded_len() < ell.padded_len());
         assert!(sell_stats.time_s <= ell_stats.time_s * 1.05);
@@ -406,7 +477,7 @@ mod tests {
         }
         let coo = CooMatrix::<f64>::from_triplets(200, 150, &trips).unwrap();
         let b = DenseMatrix::from_fn(150, 16, |i, j| ((i * 3 + j) % 7) as f64 - 3.0);
-        let ell = EllMatrix::from_coo(&coo);
+        let ell = EllMatrix::from_coo(&coo).unwrap();
         assert_eq!(ell.padding_fraction(), 0.0);
         let mut c = DenseMatrix::zeros(200, 8);
         let ell_stats = ell_spmm_gpu(&dev, &ell, &b, 8, &mut c);

@@ -35,3 +35,4 @@ pub mod vendor;
 pub use device::DeviceProfile;
 pub use exec::{launch, LaunchConfig, LaunchStats, Tracer};
 pub use fault::{FlakyRuntime, GpuRuntimeError};
+pub use kernels::GpuScratch;

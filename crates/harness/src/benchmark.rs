@@ -1,4 +1,11 @@
 //! The benchmark object model: the paper's C++ class as a Rust trait.
+//!
+//! Since the plan/execute split, this module is thin orchestration: the
+//! [`SuiteBenchmark`] owns the inputs (matrix, dense operand, parameters)
+//! and delegates *all* conversion and kernel dispatch to
+//! [`crate::engine`] — `format()` builds a [`crate::engine::Plan`] and
+//! prepares an [`crate::engine::Executor`]; `calc()` runs one prepared
+//! iteration. No per-format `match` lives here anymore.
 
 use std::str::FromStr;
 use std::time::Duration;
@@ -7,11 +14,11 @@ use spmm_core::{
     suggested_tolerance, verify, CooMatrix, DenseMatrix, MatrixProperties, VerifyError,
 };
 use spmm_gpusim::{DeviceProfile, LaunchStats};
-use spmm_kernels::kernel_api::{kernel_for, CpuBackend, CpuVariant, ExecContext};
 use spmm_kernels::FormatData;
-use spmm_parallel::global_pool;
 use spmm_perfmodel::{attainment, MachineProfile, SpmmWorkload};
+use spmm_trace::TraceLevel;
 
+use crate::engine::{Executor, Plan, Planner};
 use crate::errors::HarnessError;
 use crate::params::Params;
 use crate::report::Report;
@@ -77,6 +84,9 @@ pub enum Variant {
     /// Runtime-dispatched SIMD micro-kernels (Study 12) — serial only;
     /// the parallel kernels reach the same bodies through the tiled path.
     Simd,
+    /// Cache-blocked tiled engine over packed B panels (Study 11);
+    /// CPU-only, CSR/ELL/BCSR.
+    Tiled,
     /// Vendor (cuSPARSE-style) kernel — GPU backends only (Study 7).
     Vendor,
 }
@@ -89,6 +99,7 @@ impl Variant {
             Variant::TransposedB => "transposed",
             Variant::FixedK => "fixed-k",
             Variant::Simd => "simd",
+            Variant::Tiled => "tiled",
             Variant::Vendor => "cusparse",
         }
     }
@@ -103,6 +114,7 @@ impl FromStr for Variant {
             "transposed" | "bt" => Ok(Variant::TransposedB),
             "fixed-k" | "fixedk" | "const-k" => Ok(Variant::FixedK),
             "simd" | "vector" => Ok(Variant::Simd),
+            "tiled" | "tile" => Ok(Variant::Tiled),
             "cusparse" | "vendor" => Ok(Variant::Vendor),
             other => Err(format!("unknown variant `{other}`")),
         }
@@ -159,21 +171,17 @@ pub trait SpmmBenchmark {
 }
 
 /// The built-in benchmark covering every (format × backend × variant)
-/// combination over the suite's kernels.
+/// combination. Owns the inputs; planning, conversion and kernels live in
+/// the [`crate::engine`] the benchmark prepares during `format()`.
 pub struct SuiteBenchmark {
     matrix_name: String,
     coo: CooMatrix<f64>,
     properties: MatrixProperties,
     b: DenseMatrix<f64>,
-    bt: Option<DenseMatrix<f64>>,
-    c: DenseMatrix<f64>,
-    data: Option<FormatData<f64>>,
-    /// SpMV operand (first column of B) and result, for `--op spmv`.
+    /// SpMV operand (first column of B), for `--op spmv`.
     x: Vec<f64>,
-    y: Vec<f64>,
     params: Params,
-    /// Simulated launch stats of the last GPU calc.
-    pub last_gpu_stats: Option<LaunchStats>,
+    exec: Option<Executor>,
 }
 
 impl SuiteBenchmark {
@@ -181,21 +189,15 @@ impl SuiteBenchmark {
     pub fn new(matrix_name: &str, coo: CooMatrix<f64>, params: Params) -> Self {
         let b = spmm_matgen::gen::dense_b(coo.cols(), params.k, params.seed ^ 0xB);
         let properties = coo.properties();
-        let c = DenseMatrix::zeros(coo.rows(), params.k);
         let x = (0..coo.cols()).map(|i| b.get(i, 0)).collect();
-        let y = vec![0.0; coo.rows()];
         SuiteBenchmark {
             matrix_name: matrix_name.to_string(),
             coo,
             properties,
             b,
-            bt: None,
-            c,
-            data: None,
             x,
-            y,
             params,
-            last_gpu_stats: None,
+            exec: None,
         }
     }
 
@@ -223,95 +225,34 @@ impl SuiteBenchmark {
         &self.properties
     }
 
+    /// The loaded COO matrix.
+    pub fn coo(&self) -> &CooMatrix<f64> {
+        &self.coo
+    }
+
+    /// The dense operand B.
+    pub fn b(&self) -> &DenseMatrix<f64> {
+        &self.b
+    }
+
+    /// The plan behind this benchmark, if `format()` has run.
+    pub fn plan(&self) -> Option<&Plan> {
+        self.exec.as_ref().map(|e| e.plan())
+    }
+
     /// The formatted matrix, if `format()` has run.
     pub fn data(&self) -> Option<&FormatData<f64>> {
-        self.data.as_ref()
+        self.exec.as_ref().and_then(|e| e.data())
     }
 
-    /// The result matrix of the last `calc()`.
-    pub fn result(&self) -> &DenseMatrix<f64> {
-        &self.c
+    /// The result matrix of the last `calc()` (`None` before `format()`).
+    pub fn result(&self) -> Option<&DenseMatrix<f64>> {
+        self.exec.as_ref().map(|e| e.result())
     }
 
-    fn gpu_calc(&mut self, device: &DeviceProfile) -> Result<(), HarnessError> {
-        let data = self.data.as_ref().expect("format() ran");
-        let k = self.params.k;
-        let stats = match (&self.params.variant, data) {
-            (Variant::Vendor, FormatData::Csr(m)) => {
-                spmm_gpusim::vendor::cusparse_csr_spmm(device, m, &self.b, k, &mut self.c)
-            }
-            (Variant::Vendor, FormatData::Coo(m)) => {
-                spmm_gpusim::vendor::cusparse_coo_spmm(device, m, &self.b, k, &mut self.c)
-            }
-            (Variant::Vendor, _) => {
-                return Err(HarnessError::Unsupported(format!(
-                    "cuSPARSE provides only COO and CSR SpMM (asked for {})",
-                    data.format()
-                )))
-            }
-            (_, FormatData::Coo(m)) => {
-                spmm_gpusim::kernels::coo_spmm_gpu(device, m, &self.b, k, &mut self.c)
-            }
-            (_, FormatData::Csr(m)) => {
-                spmm_gpusim::kernels::csr_spmm_gpu(device, m, &self.b, k, &mut self.c)
-            }
-            (_, FormatData::Ell(m)) => {
-                spmm_gpusim::kernels::ell_spmm_gpu(device, m, &self.b, k, &mut self.c)
-            }
-            (_, FormatData::Bcsr(m)) => {
-                spmm_gpusim::kernels::bcsr_spmm_gpu(device, m, &self.b, k, &mut self.c)
-            }
-            (_, FormatData::Sell(m)) => {
-                spmm_gpusim::kernels::sell_spmm_gpu(device, m, &self.b, k, &mut self.c)
-            }
-            (_, other) => {
-                return Err(HarnessError::Unsupported(format!(
-                    "no GPU kernel for format {}",
-                    other.format()
-                )))
-            }
-        };
-        self.last_gpu_stats = Some(stats);
-        Ok(())
-    }
-}
-
-impl SuiteBenchmark {
-    fn spmv_calc(&mut self) -> Result<(), HarnessError> {
-        let data = self
-            .data
-            .as_ref()
-            .ok_or_else(|| HarnessError::Calc("calc() before format()".into()))?;
-        let ok = match (self.params.backend, self.params.variant) {
-            (Backend::Serial, Variant::Normal) => data.spmv_serial(&self.x, &mut self.y),
-            (Backend::Serial, Variant::Simd) => {
-                data.spmv_serial_simd_at(spmm_kernels::simd::active_level(), &self.x, &mut self.y)
-            }
-            (Backend::Parallel, Variant::Normal) => data.spmv_parallel(
-                global_pool(),
-                self.params.threads,
-                self.params.schedule,
-                &self.x,
-                &mut self.y,
-            ),
-            (Backend::GpuH100 | Backend::GpuA100, _) => {
-                return Err(HarnessError::Unsupported(
-                    "SpMV has no GPU kernels (SpMM only)".to_string(),
-                ))
-            }
-            _ => {
-                return Err(HarnessError::Unsupported(
-                    "SpMV supports only the normal and simd variants".to_string(),
-                ))
-            }
-        };
-        if !ok {
-            return Err(HarnessError::Unsupported(format!(
-                "{} has no SpMV kernel",
-                self.params.format
-            )));
-        }
-        Ok(())
+    /// Simulated launch stats of the last GPU calc.
+    pub fn last_gpu_stats(&self) -> Option<&LaunchStats> {
+        self.exec.as_ref().and_then(|e| e.last_gpu_stats())
     }
 }
 
@@ -328,70 +269,33 @@ impl SpmmBenchmark for SuiteBenchmark {
     }
 
     fn format(&mut self) -> Result<(), HarnessError> {
-        let data = FormatData::from_coo(self.params.format, &self.coo, self.params.block)?;
-        // The transpose variant's pre-pass belongs to formatting time.
-        if self.params.variant == Variant::TransposedB {
-            self.bt = Some(self.b.transposed());
-        }
-        self.data = Some(data);
+        let plan = Planner::new().plan(&self.properties, &self.params)?;
+        let mut exec = Executor::new(plan);
+        exec.prepare(&self.coo, &self.b)?;
+        self.exec = Some(exec);
         Ok(())
     }
 
     fn calc(&mut self) -> Result<(), HarnessError> {
-        let k = self.params.k;
-        if self.params.op == Op::Spmv {
-            return self.spmv_calc();
-        }
-        if let Some(device) = self.params.backend.device() {
-            return self.gpu_calc(&device);
-        }
-        let data = self
-            .data
-            .as_ref()
+        let exec = self
+            .exec
+            .as_mut()
             .ok_or_else(|| HarnessError::Calc("calc() before format()".into()))?;
-        // CPU SpMM goes through the typed kernel API: one trait object per
-        // (backend, variant) pair instead of the old free-method match.
-        let backend = match self.params.backend {
-            Backend::Serial => CpuBackend::Serial,
-            Backend::Parallel => CpuBackend::Parallel,
-            Backend::GpuH100 | Backend::GpuA100 => unreachable!("handled above"),
-        };
-        let variant = match self.params.variant {
-            Variant::Normal => CpuVariant::Normal,
-            Variant::TransposedB => CpuVariant::TransposedB,
-            Variant::FixedK => CpuVariant::FixedK,
-            Variant::Simd => CpuVariant::Simd,
-            Variant::Vendor => {
-                return Err(HarnessError::Unsupported(
-                    "the cuSPARSE variant requires a GPU backend".to_string(),
-                ))
-            }
-        };
-        let kernel = kernel_for::<f64, usize>(backend, variant).ok_or_else(|| {
-            HarnessError::Unsupported(
-                "the simd variant is serial-only (use the tiled path)".to_string(),
-            )
-        })?;
-        let ctx = ExecContext {
-            pool: global_pool(),
-            threads: self.params.threads,
-            schedule: self.params.schedule,
-        };
-        kernel.execute(data, &self.b, self.bt.as_ref(), k, &ctx, &mut self.c)?;
-        Ok(())
+        exec.execute(&self.b, &self.x)
     }
 
     fn verify(&self) -> Result<(), VerifyError> {
         let tol = suggested_tolerance::<f64>(self.properties.max_row_nnz.max(1));
+        let exec = self.exec.as_ref().expect("format() ran");
         if self.params.op == Op::Spmv {
             let expected = self.coo.spmv_reference(&self.x);
-            let got =
-                DenseMatrix::from_vec(self.y.len(), 1, self.y.clone()).expect("vector reshapes");
+            let y = exec.y();
+            let got = DenseMatrix::from_vec(y.len(), 1, y.to_vec()).expect("vector reshapes");
             let want = DenseMatrix::from_vec(expected.len(), 1, expected).expect("vector reshapes");
             return verify(&got, &want, tol);
         }
         let reference = self.coo.spmm_reference_k(&self.b, self.params.k);
-        verify(&self.c, &reference, tol)
+        verify(exec.result(), &reference, tol)
     }
 
     fn useful_flops(&self) -> u64 {
@@ -402,12 +306,17 @@ impl SpmmBenchmark for SuiteBenchmark {
     }
 }
 
-/// Run a benchmark end to end: format (timed), `-n` timed calculation
-/// calls, verification, report assembly. This is the suite's main loop.
+/// Run a benchmark end to end: plan + prepare (timed as formatting), `-n`
+/// timed calculation calls, verification, report assembly. This is the
+/// suite's main loop.
 ///
 /// Each phase runs under a telemetry span (`format` / `warmup` /
 /// `calc[variant]` / `verify`), and the spans this run produced are folded
-/// into the report's phase tree when tracing is on.
+/// into the report's phase tree when tracing is on. Under `--trace-level
+/// full` the run additionally audits the timed loop: any
+/// `workspace.alloc_bytes` growth between the warm-up and the last
+/// iteration fails the run, which is how CI pins the engine's
+/// zero-steady-state-allocation guarantee.
 pub fn run(bench: &mut SuiteBenchmark) -> Result<Report, HarnessError> {
     let params = bench.params.clone();
     let spans_before = spmm_trace::span_count();
@@ -419,11 +328,18 @@ pub fn run(bench: &mut SuiteBenchmark) -> Result<Report, HarnessError> {
     fmt_result?;
 
     // First call outside the timing loop validates the combination (and
-    // warms the pool), mirroring the suite's untimed warm-up.
+    // warms the pool and every workspace buffer), mirroring the suite's
+    // untimed warm-up.
     {
         let _span = spmm_trace::span!("warmup");
         bench.calc()?;
     }
+
+    // Audit steady-state allocations across the timed loop when the run
+    // itself asked for full tracing (binaries set the global level from
+    // params before calling run, so the counters are live).
+    let audit_allocs = params.trace_level == TraceLevel::Full && spmm_trace::full_enabled();
+    let alloc_before = audit_allocs.then(spmm_trace::MetricsSnapshot::capture);
 
     let variant_tag = params.variant.name();
     let mut calc_err: Option<HarnessError> = None;
@@ -437,8 +353,21 @@ pub fn run(bench: &mut SuiteBenchmark) -> Result<Report, HarnessError> {
         return Err(e);
     }
 
+    let steady_alloc_bytes = alloc_before.map(|before| {
+        let delta = spmm_trace::MetricsSnapshot::capture().delta_since(&before);
+        delta.counter("workspace.alloc_bytes").unwrap_or(0)
+    });
+    if let Some(bytes) = steady_alloc_bytes {
+        if bytes > 0 {
+            return Err(HarnessError::Calc(format!(
+                "steady-state violation: the timed loop grew workspace buffers by {bytes} bytes \
+                 (every buffer must be acquired during format())"
+            )));
+        }
+    }
+
     // GPU backends report the simulator's time, not host wall-clock.
-    let (avg_calc, simulated) = match &bench.last_gpu_stats {
+    let (avg_calc, simulated) = match bench.last_gpu_stats() {
         Some(stats) => (Duration::from_secs_f64(stats.time_s), true),
         None => (timings.avg, false),
     };
@@ -459,6 +388,11 @@ pub fn run(bench: &mut SuiteBenchmark) -> Result<Report, HarnessError> {
         simulated,
         verification,
     );
+    report.steady_alloc_bytes = steady_alloc_bytes;
+    if let Some(plan) = bench.plan() {
+        report.plan_route = Some(plan.route_string());
+        report.predicted_mflops = plan.predicted_mflops;
+    }
 
     // Roofline attainment: join the measured rate against the analytic
     // model for host-measured CPU SpMM runs (the model has no SpMV or
@@ -550,6 +484,9 @@ mod tests {
             (Ell, Backend::Serial, Variant::Simd),
             (Bcsr, Backend::Serial, Variant::Simd),
             (Sell, Backend::Serial, Variant::Simd),
+            (Csr, Backend::Serial, Variant::Tiled),
+            (Ell, Backend::Parallel, Variant::Tiled),
+            (Bcsr, Backend::Parallel, Variant::Tiled),
         ];
         for &(format, backend, variant) in combos {
             let params = Params {
@@ -569,6 +506,19 @@ mod tests {
                 variant.name()
             );
         }
+    }
+
+    #[test]
+    fn reports_carry_plan_metadata() {
+        let params = Params {
+            format: spmm_core::SparseFormat::Bcsr,
+            ..small_params()
+        };
+        let mut bench = SuiteBenchmark::from_params(params).unwrap();
+        let report = run(&mut bench).unwrap();
+        // BCSR routes through the CSR hub; the route lands in the report.
+        assert_eq!(report.plan_route.as_deref(), Some("coo->csr->bcsr"));
+        assert!(report.predicted_mflops.unwrap() > 0.0);
     }
 
     #[test]
@@ -609,6 +559,14 @@ mod tests {
         let params = Params {
             variant: Variant::Simd,
             format: spmm_core::SparseFormat::Coo,
+            ..small_params()
+        };
+        let mut bench = SuiteBenchmark::from_params(params).unwrap();
+        assert!(run(&mut bench).is_err());
+        // The tiled engine covers CSR/ELL/BCSR only.
+        let params = Params {
+            variant: Variant::Tiled,
+            format: spmm_core::SparseFormat::Sell,
             ..small_params()
         };
         let mut bench = SuiteBenchmark::from_params(params).unwrap();
@@ -702,6 +660,7 @@ mod tests {
         assert_eq!("omp".parse::<Backend>().unwrap(), Backend::Parallel);
         assert_eq!("gpu".parse::<Backend>().unwrap(), Backend::GpuH100);
         assert_eq!("bt".parse::<Variant>().unwrap(), Variant::TransposedB);
+        assert_eq!("tiled".parse::<Variant>().unwrap(), Variant::Tiled);
         assert!("quantum".parse::<Backend>().is_err());
     }
 }

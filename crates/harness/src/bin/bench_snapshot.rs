@@ -26,9 +26,11 @@ use std::fs;
 use std::path::PathBuf;
 
 use spmm_core::{max_rel_error, CsrMatrix, DenseMatrix, MemoryFootprint, SellMatrix, SparseFormat};
+use spmm_harness::engine::Planner;
 use spmm_harness::json::Json;
 use spmm_harness::studies::{host_workload, study11, study12, MatrixEntry};
 use spmm_harness::timer::time_repeated;
+use spmm_harness::Params;
 use spmm_kernels::dispatch::SELL_SIGMA;
 use spmm_kernels::simd::{self, SimdLevel};
 use spmm_kernels::tiled::TileConfig;
@@ -265,6 +267,22 @@ fn main() {
             // Roofline attainment: measured rates against the analytic
             // model. The SIMD fractions divide by modeled × simd_speedup
             // (the model's vectorized roofline for the same workload).
+            // The planner's view of the same point: route, modelled
+            // conversion cost and predicted MFLOPS, recorded next to the
+            // measured rate so snapshots track model drift.
+            let plan = Planner::new()
+                .plan(
+                    &entry.props,
+                    &Params {
+                        format: SparseFormat::Csr,
+                        k,
+                        block,
+                        ..Params::default()
+                    },
+                )
+                .expect("serial CSR always plans");
+            let predicted = plan.predicted_mflops.unwrap_or(0.0);
+
             let workload = host_workload(&data, &entry, block, k);
             let att_flat = attainment(&machine, &workload, 1, flat);
             let att_tiled = attainment(&machine, &workload, 1, tiled);
@@ -358,6 +376,21 @@ fn main() {
                     .with("speedup_simd_csr", simd_csr)
                     .with("speedup_simd_sell", simd_sell)
                     .with("max_rel_error", err)
+                    .with(
+                        "plan",
+                        Json::obj()
+                            .with("route", plan.route_string())
+                            .with("conversion_s", plan.conversion_s)
+                            .with("predicted_mflops", predicted)
+                            .with(
+                                "predicted_vs_attained",
+                                if predicted > 0.0 {
+                                    flat / predicted
+                                } else {
+                                    0.0
+                                },
+                            ),
+                    )
                     .with(
                         "attainment",
                         Json::obj()

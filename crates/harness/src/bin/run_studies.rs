@@ -197,9 +197,13 @@ fn main() {
     for entry in &suite {
         footprint_csv.push_str(&entry.name);
         for f in spmm_core::SparseFormat::ALL {
-            let data = spmm_kernels::FormatData::from_coo(f, &entry.coo, ctx.block)
-                .expect("formats construct");
-            footprint_csv.push_str(&format!(",{}", data.memory_footprint()));
+            match spmm_kernels::FormatData::from_coo(f, &entry.coo, ctx.block) {
+                Ok(data) => footprint_csv.push_str(&format!(",{}", data.memory_footprint())),
+                Err(e) => {
+                    eprintln!("warning: skipping {f} footprint for {}: {e}", entry.name);
+                    footprint_csv.push(',');
+                }
+            }
         }
         footprint_csv.push('\n');
     }

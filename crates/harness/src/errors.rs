@@ -29,6 +29,8 @@ pub enum HarnessError {
     },
     /// Formatting the matrix (e.g. BCSR blocking) failed.
     Format(SparseError),
+    /// The conversion graph could not route or build the target format.
+    Conversion(SparseError),
     /// The kernel refused the `(format, backend, variant)` combination.
     Kernel(KernelError),
     /// The combination has no kernel, with a human explanation.
@@ -56,6 +58,7 @@ impl fmt::Display for HarnessError {
                 write!(f, "cannot read {path}: {detail}")
             }
             HarnessError::Format(e) => write!(f, "formatting failed: {e}"),
+            HarnessError::Conversion(e) => write!(f, "conversion failed: {e}"),
             HarnessError::Kernel(e) => write!(f, "{e}"),
             HarnessError::Unsupported(msg) => f.write_str(msg),
             HarnessError::Calc(msg) => f.write_str(msg),
@@ -68,6 +71,7 @@ impl Error for HarnessError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             HarnessError::Format(e) => Some(e),
+            HarnessError::Conversion(e) => Some(e),
             HarnessError::Kernel(e) => Some(e),
             _ => None,
         }
@@ -104,6 +108,16 @@ mod tests {
         assert!(matches!(e, HarnessError::Format(_)));
         assert!(e.source().is_some());
         assert!(e.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn conversion_error_wraps_sparse_error() {
+        let e = HarnessError::Conversion(SparseError::NoRoute {
+            from: spmm_core::SparseFormat::Hyb,
+            to: spmm_core::SparseFormat::Bcsr,
+        });
+        assert!(e.to_string().starts_with("conversion failed:"));
+        assert!(e.source().is_some());
     }
 
     #[test]

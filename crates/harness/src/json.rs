@@ -238,6 +238,18 @@ impl From<Option<f64>> for Json {
     }
 }
 
+impl From<Option<u64>> for Json {
+    fn from(v: Option<u64>) -> Json {
+        v.map_or(Json::Null, Json::from)
+    }
+}
+
+impl From<Option<String>> for Json {
+    fn from(v: Option<String>) -> Json {
+        v.map_or(Json::Null, Json::Str)
+    }
+}
+
 impl<T: Into<Json>> From<Vec<T>> for Json {
     fn from(items: Vec<T>) -> Json {
         Json::Arr(items.into_iter().map(Into::into).collect())

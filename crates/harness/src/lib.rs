@@ -11,6 +11,10 @@
 //! * [`benchmark`] — the [`benchmark::SpmmBenchmark`] trait mirroring the
 //!   C++ class, a concrete [`benchmark::SuiteBenchmark`] covering every
 //!   (format × backend × variant) combination, and the timing loop;
+//! * [`engine`] — the plan/execute split behind the benchmark: a
+//!   [`engine::Planner`] that picks conversion route, tile shape and
+//!   strategy up front, and an [`engine::Executor`] whose workspace
+//!   arenas make the timed loop allocation-free;
 //! * [`report`] — FLOPS/MFLOPS/GFLOPS reporting with matrix properties,
 //!   CSV and JSON output;
 //! * [`errors`] — the typed [`errors::HarnessError`] the whole API speaks;
@@ -29,6 +33,7 @@
 
 pub mod benchmark;
 pub mod chart;
+pub mod engine;
 pub mod errors;
 pub mod json;
 pub mod params;
@@ -38,7 +43,8 @@ pub mod svg;
 pub mod telemetry;
 pub mod timer;
 
-pub use benchmark::{Backend, Op, SpmmBenchmark, SuiteBenchmark, Variant};
+pub use benchmark::{run, Backend, Op, SpmmBenchmark, SuiteBenchmark, Variant};
+pub use engine::{ExecStrategy, Executor, Plan, Planner};
 pub use errors::HarnessError;
 pub use params::{Params, ParamsBuilder};
 pub use report::Report;

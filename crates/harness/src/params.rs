@@ -312,6 +312,20 @@ fn validate(p: &Params) -> Result<(), HarnessError> {
                 )));
             }
         }
+        Variant::Tiled => {
+            if gpu {
+                return Err(invalid("the tiled variant is cpu-only"));
+            }
+            if p.op == Op::Spmv {
+                return Err(invalid("spmv supports the normal and simd variants only"));
+            }
+            if !matches!(p.format, F::Csr | F::Ell | F::Bcsr) {
+                return Err(invalid(format!(
+                    "the tiled engine covers csr/ell/bcsr only (got {})",
+                    p.format
+                )));
+            }
+        }
         Variant::Normal => {}
     }
 
@@ -414,9 +428,9 @@ impl Params {
          options:\n\
            -m, --matrix <name|file.mtx>  suite matrix name or MatrixMarket path\n\
            --list-matrices               print the 14-matrix suite and exit\n\
-           -f, --format <coo|csr|ell|bcsr|bell|csr5>\n\
+           -f, --format <coo|csr|ell|bcsr|bell|csr5|sell|hyb>\n\
            --backend <serial|parallel|gpu-h100|gpu-a100>\n\
-           --variant <normal|transposed|fixed-k|simd|cusparse>\n\
+           --variant <normal|transposed|fixed-k|simd|tiled|cusparse>\n\
            --op <spmm|spmv>              operation (default spmm)\n\
            -n, --iterations <N>          calc() calls to average (default 3)\n\
            -t, --threads <N>             parallel thread count (default 32)\n\
@@ -569,6 +583,12 @@ mod tests {
             .build()
             .is_ok());
         assert!(Params::builder()
+            .format(F::Bcsr)
+            .backend(Backend::Parallel)
+            .variant(Variant::Tiled)
+            .build()
+            .is_ok());
+        assert!(Params::builder()
             .backend(Backend::GpuH100)
             .variant(Variant::Vendor)
             .build()
@@ -593,6 +613,12 @@ mod tests {
                 .variant(Variant::Simd),
             // no simd kernel for coo
             Params::builder().format(F::Coo).variant(Variant::Simd),
+            // tiled is cpu-only and covers csr/ell/bcsr
+            Params::builder()
+                .backend(Backend::GpuH100)
+                .variant(Variant::Tiled),
+            Params::builder().format(F::Coo).variant(Variant::Tiled),
+            Params::builder().variant(Variant::Tiled).op(Op::Spmv),
             // spmv is cpu-only
             Params::builder().backend(Backend::GpuA100).op(Op::Spmv),
             // fixed-k needs an instantiated k

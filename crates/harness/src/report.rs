@@ -77,6 +77,14 @@ pub struct Report {
     pub arithmetic_intensity: Option<f64>,
     /// Rendered span phase tree of the run (tracing enabled only).
     pub phase_tree: Option<String>,
+
+    /// Conversion route the planner chose (`"coo->csr->bcsr"`).
+    pub plan_route: Option<String>,
+    /// Planner-predicted MFLOPS for host CPU SpMM strategies.
+    pub predicted_mflops: Option<f64>,
+    /// Bytes allocated inside the timed loop (full tracing only; the
+    /// engine guarantees this is zero or the run fails).
+    pub steady_alloc_bytes: Option<u64>,
 }
 
 impl Report {
@@ -124,6 +132,9 @@ impl Report {
             attained_fraction: None,
             arithmetic_intensity: None,
             phase_tree: None,
+            plan_route: None,
+            predicted_mflops: None,
+            steady_alloc_bytes: None,
         }
     }
 
@@ -132,7 +143,8 @@ impl Report {
         "matrix,format,backend,variant,k,threads,block,iterations,\
          rows,cols,nnz,max,avg,ratio,variance,std_dev,\
          format_time_s,avg_calc_time_s,total_time_s,mflops,simulated,verified,footprint_bytes,\
-         modeled_mflops,attained_fraction,arithmetic_intensity"
+         modeled_mflops,attained_fraction,arithmetic_intensity,\
+         plan_route,predicted_mflops,steady_alloc_bytes"
     }
 
     /// One CSV row.
@@ -140,7 +152,7 @@ impl Report {
         let opt =
             |v: Option<f64>, digits: usize| v.map_or(String::new(), |v| format!("{v:.digits$}"));
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{:.2},{:.2},{:.2},{:.2},{:.6},{:.6e},{:.6},{:.2},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{:.2},{:.2},{:.2},{:.2},{:.6},{:.6e},{:.6},{:.2},{},{},{},{},{},{},{},{},{}",
             self.matrix,
             self.format,
             self.backend,
@@ -167,6 +179,10 @@ impl Report {
             opt(self.modeled_mflops, 2),
             opt(self.attained_fraction, 4),
             opt(self.arithmetic_intensity, 4),
+            self.plan_route.as_deref().unwrap_or(""),
+            opt(self.predicted_mflops, 2),
+            self.steady_alloc_bytes
+                .map_or(String::new(), |b| b.to_string()),
         )
     }
 
@@ -202,6 +218,9 @@ impl Report {
             .with("modeled_mflops", self.modeled_mflops)
             .with("attained_fraction", self.attained_fraction)
             .with("arithmetic_intensity", self.arithmetic_intensity)
+            .with("plan_route", self.plan_route.clone())
+            .with("predicted_mflops", self.predicted_mflops)
+            .with("steady_alloc_bytes", self.steady_alloc_bytes)
             .pretty()
     }
 }
@@ -248,6 +267,16 @@ impl fmt::Display for Report {
             self.flops, self.mflops, self.gflops
         )?;
         writeln!(f, "footprint:   {} bytes", self.memory_footprint)?;
+        if let Some(route) = &self.plan_route {
+            write!(f, "plan:        {route}")?;
+            if let Some(pred) = self.predicted_mflops {
+                write!(f, " (predicted {pred:.2} MFLOPS)")?;
+            }
+            writeln!(f)?;
+        }
+        if let Some(bytes) = self.steady_alloc_bytes {
+            writeln!(f, "steady alloc: {bytes} bytes in the timed loop")?;
+        }
         if let (Some(modeled), Some(fraction)) = (self.modeled_mflops, self.attained_fraction) {
             writeln!(
                 f,

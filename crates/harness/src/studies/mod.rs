@@ -31,6 +31,14 @@ use spmm_perfmodel::{estimate_spmm_mflops, MachineProfile, SpmmWorkload};
 use crate::chart;
 use crate::json::Json;
 
+/// Reusable measurement buffers a study driver holds across its matrix
+/// loop, so back-to-back points reuse memory instead of reallocating.
+#[derive(Default)]
+pub(crate) struct StudyScratch {
+    pub ws: spmm_kernels::Workspace<f64>,
+    pub gpu: spmm_gpusim::GpuScratch<f64>,
+}
+
 /// Shared configuration for every study run.
 #[derive(Debug, Clone)]
 pub struct StudyContext {

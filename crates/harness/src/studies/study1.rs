@@ -3,10 +3,14 @@
 use spmm_core::DenseMatrix;
 use spmm_kernels::FormatData;
 
-use super::{model_mflops, Arch, MatrixEntry, Series, StudyContext, StudyResult};
+use super::{model_mflops, Arch, MatrixEntry, Series, StudyContext, StudyResult, StudyScratch};
 
 /// Run one GPU kernel functionally + simulated, verifying the result.
 /// Returns the simulated MFLOPS, or `None` for unsupported formats.
+///
+/// The output matrix and per-thread accumulators live in the caller's
+/// [`StudyScratch`], so back-to-back study points reuse the same buffers
+/// instead of reallocating per (matrix, format) cell.
 pub(crate) fn gpu_mflops(
     arch: &Arch,
     entry: &MatrixEntry,
@@ -14,19 +18,21 @@ pub(crate) fn gpu_mflops(
     b: &DenseMatrix<f64>,
     k: usize,
     reference: &DenseMatrix<f64>,
+    scratch: &mut StudyScratch,
 ) -> Option<f64> {
     if arch.runtime.check(&entry.name).is_err() {
         return None;
     }
-    let mut c = DenseMatrix::zeros(entry.coo.rows(), k);
+    let c = scratch.ws.acquire_c(entry.coo.rows(), k);
+    let gpu = &mut scratch.gpu;
     let stats = match data {
-        FormatData::Coo(m) => spmm_gpusim::kernels::coo_spmm_gpu(&arch.device, m, b, k, &mut c),
-        FormatData::Csr(m) => spmm_gpusim::kernels::csr_spmm_gpu(&arch.device, m, b, k, &mut c),
-        FormatData::Ell(m) => spmm_gpusim::kernels::ell_spmm_gpu(&arch.device, m, b, k, &mut c),
-        FormatData::Bcsr(m) => spmm_gpusim::kernels::bcsr_spmm_gpu(&arch.device, m, b, k, &mut c),
+        FormatData::Coo(m) => spmm_gpusim::kernels::coo_spmm_gpu(&arch.device, m, b, k, c),
+        FormatData::Csr(m) => spmm_gpusim::kernels::csr_spmm_gpu_in(&arch.device, m, b, k, c, gpu),
+        FormatData::Ell(m) => spmm_gpusim::kernels::ell_spmm_gpu_in(&arch.device, m, b, k, c, gpu),
+        FormatData::Bcsr(m) => spmm_gpusim::kernels::bcsr_spmm_gpu(&arch.device, m, b, k, c),
         _ => return None,
     };
-    let err = spmm_core::max_rel_error(&c, reference);
+    let err = spmm_core::max_rel_error(c, reference);
     assert!(err < 1e-9, "GPU kernel diverged on {}: {err}", entry.name);
     Some(stats.mflops(spmm_kernels::spmm_flops(data.nnz(), k)))
 }
@@ -44,13 +50,15 @@ pub fn study1(ctx: &StudyContext, arch: &Arch, suite: &[MatrixEntry]) -> StudyRe
         }
     }
 
+    let mut scratch = StudyScratch::default();
     for entry in suite {
         let b = spmm_matgen::gen::dense_b(entry.coo.cols(), ctx.k, ctx.seed ^ 0xB);
         let reference = entry.coo.spmm_reference_k(&b, ctx.k);
         for (fi, (_, data)) in super::format_all(entry, ctx.block).into_iter().enumerate() {
             let serial = model_mflops(&arch.machine, &data, entry, ctx.block, ctx.k, 1);
             let omp = model_mflops(&arch.machine, &data, entry, ctx.block, ctx.k, ctx.threads);
-            let gpu = gpu_mflops(arch, entry, &data, &b, ctx.k, &reference).unwrap_or(f64::NAN);
+            let gpu = gpu_mflops(arch, entry, &data, &b, ctx.k, &reference, &mut scratch)
+                .unwrap_or(f64::NAN);
             series[fi * 3].values.push(serial);
             series[fi * 3 + 1].values.push(omp);
             series[fi * 3 + 2].values.push(gpu);

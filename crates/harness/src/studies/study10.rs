@@ -38,7 +38,7 @@ pub fn study10(ctx: &StudyContext, suite: &[MatrixEntry]) -> StudyResult {
         let nnz = entry.coo.nnz().max(1) as f64;
         let mut c = DenseMatrix::zeros(entry.coo.rows(), ctx.k);
 
-        let ell = spmm_core::EllMatrix::from_coo(&entry.coo);
+        let ell = spmm_core::EllMatrix::from_coo(&entry.coo).expect("ELL constructs");
         let t = time_repeated(iterations, || {
             spmm_kernels::serial::ell_spmm(&ell, &b, ctx.k, &mut c)
         });
@@ -62,7 +62,7 @@ pub fn study10(ctx: &StudyContext, suite: &[MatrixEntry]) -> StudyResult {
         mflops[1].values.push(useful / t.avg.as_secs_f64() / 1e6);
         blowup[1].values.push(sell.stored_entries() as f64 / nnz);
 
-        let hyb = HybMatrix::from_coo(&entry.coo);
+        let hyb = HybMatrix::from_coo(&entry.coo).expect("HYB constructs");
         let t = time_repeated(iterations, || {
             spmm_kernels::extended::hyb_spmm(&hyb, &b, ctx.k, &mut c)
         });

@@ -10,8 +10,9 @@
 //! Study 8 treats its pre-transposed B: a one-time layout cost amortized
 //! over the `n` SpMM applications of a solver loop.
 
-use spmm_core::{DenseMatrix, SparseFormat};
+use spmm_core::SparseFormat;
 use spmm_kernels::tiled::TileConfig;
+use spmm_kernels::Workspace;
 use spmm_perfmodel::{select_tile_shape, MachineProfile};
 
 use super::{host_workload, MatrixEntry, Series, StudyContext, StudyResult};
@@ -66,19 +67,22 @@ pub fn study11(ctx: &StudyContext, suite: &[MatrixEntry]) -> StudyResult {
         values: Vec::new(),
     });
 
+    // One workspace across the whole suite: the output matrix is acquired
+    // once per entry and reused for every format's timed passes.
+    let mut ws = Workspace::new();
     for entry in suite {
         let b = spmm_matgen::gen::dense_b(entry.coo.cols(), ctx.k, ctx.seed ^ 0xB);
         let reference = entry.coo.spmm_reference_k(&b, ctx.k);
         let useful = spmm_kernels::spmm_flops(entry.coo.nnz(), ctx.k) as f64;
-        let mut c = DenseMatrix::zeros(entry.coo.rows(), ctx.k);
+        let c = ws.acquire_c(entry.coo.rows(), ctx.k);
 
         for (fi, format) in TILED_FORMATS.iter().enumerate() {
             let data = spmm_kernels::FormatData::from_coo(*format, &entry.coo, ctx.block)
                 .expect("paper formats always construct");
 
-            let t = time_repeated(iterations, || data.spmm_serial(&b, ctx.k, &mut c));
+            let t = time_repeated(iterations, || data.spmm_serial(&b, ctx.k, c));
             assert!(
-                spmm_core::max_rel_error(&c, &reference) < 1e-9,
+                spmm_core::max_rel_error(c, &reference) < 1e-9,
                 "{} {format} flat",
                 entry.name
             );
@@ -89,10 +93,10 @@ pub fn study11(ctx: &StudyContext, suite: &[MatrixEntry]) -> StudyResult {
             let cfg = tile_config(&machine, &data, entry, ctx.block, ctx.k);
             let packed = cfg.pack(&b, ctx.k);
             let t = time_repeated(iterations, || {
-                data.spmm_serial_tiled(&packed, cfg, &mut c);
+                data.spmm_serial_tiled(&packed, cfg, c);
             });
             assert!(
-                spmm_core::max_rel_error(&c, &reference) < 1e-9,
+                spmm_core::max_rel_error(c, &reference) < 1e-9,
                 "{} {format} tiled",
                 entry.name
             );
@@ -101,11 +105,11 @@ pub fn study11(ctx: &StudyContext, suite: &[MatrixEntry]) -> StudyResult {
                 .push(useful / t.avg.as_secs_f64() / 1e6);
 
             if *format == SparseFormat::Csr {
-                let const_mflops = if data.spmm_serial_fixed_k(&b, ctx.k, &mut c) {
+                let const_mflops = if data.spmm_serial_fixed_k(&b, ctx.k, c) {
                     let t = time_repeated(iterations, || {
-                        data.spmm_serial_fixed_k(&b, ctx.k, &mut c);
+                        data.spmm_serial_fixed_k(&b, ctx.k, c);
                     });
-                    assert!(spmm_core::max_rel_error(&c, &reference) < 1e-9);
+                    assert!(spmm_core::max_rel_error(c, &reference) < 1e-9);
                     useful / t.avg.as_secs_f64() / 1e6
                 } else {
                     f64::NAN // k without a const instantiation

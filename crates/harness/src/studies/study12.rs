@@ -61,7 +61,7 @@ pub fn study12(ctx: &StudyContext, suite: &[MatrixEntry]) -> StudyResult {
         let useful_mv = 2.0 * entry.coo.nnz() as f64;
 
         let csr = CsrMatrix::from_coo(&entry.coo);
-        let ell = EllMatrix::from_coo(&entry.coo);
+        let ell = EllMatrix::from_coo(&entry.coo).expect("ELL constructs");
         let bcsr =
             BcsrMatrix::from_coo(&entry.coo, ctx.block).expect("BCSR constructs for the suite");
         let sell = SellMatrix::with_lane_width(&csr, lanes, SELL_SIGMA).expect("SELL constructs");

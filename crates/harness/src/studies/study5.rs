@@ -5,6 +5,7 @@ use spmm_kernels::FormatData;
 
 use super::{
     model_mflops, study1::gpu_mflops, Arch, MatrixEntry, Series, StudyContext, StudyResult,
+    StudyScratch,
 };
 
 /// The block sizes §5.7 sweeps.
@@ -24,6 +25,7 @@ pub fn study5(ctx: &StudyContext, arch: &Arch, suite: &[MatrixEntry]) -> StudyRe
         }
     }
 
+    let mut scratch = StudyScratch::default();
     for entry in suite {
         let b_dense = spmm_matgen::gen::dense_b(entry.coo.cols(), ctx.k, ctx.seed ^ 0xB);
         let reference = entry.coo.spmm_reference_k(&b_dense, ctx.k);
@@ -32,8 +34,16 @@ pub fn study5(ctx: &StudyContext, arch: &Arch, suite: &[MatrixEntry]) -> StudyRe
                 .expect("BCSR always constructs");
             let serial = model_mflops(&arch.machine, &data, entry, block, ctx.k, 1);
             let omp = model_mflops(&arch.machine, &data, entry, block, ctx.k, ctx.threads);
-            let gpu =
-                gpu_mflops(arch, entry, &data, &b_dense, ctx.k, &reference).unwrap_or(f64::NAN);
+            let gpu = gpu_mflops(
+                arch,
+                entry,
+                &data,
+                &b_dense,
+                ctx.k,
+                &reference,
+                &mut scratch,
+            )
+            .unwrap_or(f64::NAN);
             series[bi * 3].values.push(serial);
             series[bi * 3 + 1].values.push(omp);
             series[bi * 3 + 2].values.push(gpu);

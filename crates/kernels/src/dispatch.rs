@@ -6,9 +6,9 @@
 //! can select format, backend and variant from command-line parameters.
 
 use spmm_core::{
-    BcsrMatrix, BellMatrix, CooMatrix, Csr5Matrix, CsrMatrix, DenseMatrix, EllMatrix, HybMatrix,
-    Index, MemoryFootprint, PackedPanels, Scalar, SellMatrix, SparseError, SparseFormat,
-    SparseMatrix,
+    AnyMatrix, BcsrMatrix, BellMatrix, ConversionGraph, ConvertConfig, CooMatrix, Csr5Matrix,
+    CsrMatrix, DenseMatrix, EllMatrix, HybMatrix, Index, MemoryFootprint, PackedPanels, Scalar,
+    SellMatrix, SparseError, SparseFormat, SparseMatrix,
 };
 use spmm_parallel::{Schedule, ThreadPool};
 
@@ -51,21 +51,29 @@ impl<T: Scalar, I: Index> FormatData<T, I> {
         coo: &CooMatrix<T, I>,
         block: usize,
     ) -> Result<Self, SparseError> {
+        Ok(Self::from_coo_routed(format, coo, block)?.0)
+    }
+
+    /// [`FormatData::from_coo`] that also reports the conversion route the
+    /// graph chose (plan metadata for reports).
+    pub fn from_coo_routed(
+        format: SparseFormat,
+        coo: &CooMatrix<T, I>,
+        block: usize,
+    ) -> Result<(Self, Vec<SparseFormat>), SparseError> {
         let _span = spmm_trace::span!("convert", format.name());
-        let data = match format {
-            SparseFormat::Coo => FormatData::Coo(coo.clone()),
-            SparseFormat::Csr => FormatData::Csr(CsrMatrix::from_coo(coo)),
-            SparseFormat::Ell => FormatData::Ell(EllMatrix::from_coo(coo)),
-            SparseFormat::Bcsr => FormatData::Bcsr(BcsrMatrix::from_coo(coo, block)?),
-            SparseFormat::Bell => FormatData::Bell(BellMatrix::from_coo(coo, block)?),
-            SparseFormat::Csr5 => FormatData::Csr5(Csr5Matrix::from_coo(coo)),
-            SparseFormat::Sell => {
-                FormatData::Sell(SellMatrix::from_coo(coo, SELL_SLICE_HEIGHT, SELL_SIGMA)?)
-            }
-            SparseFormat::Hyb => FormatData::Hyb(HybMatrix::from_coo(coo)),
-        };
+        let converted = ConversionGraph::shared().convert_coo(
+            coo,
+            format,
+            &ConvertConfig {
+                block,
+                sell_c: SELL_SLICE_HEIGHT,
+                sell_sigma: SELL_SIGMA,
+            },
+        )?;
+        let data: FormatData<T, I> = converted.matrix.into();
         spmm_core::traffic::record_footprint(format.name(), &data);
-        Ok(data)
+        Ok((data, converted.route))
     }
 
     /// Record one SpMM kernel call in the metrics registry: call count,
@@ -553,6 +561,24 @@ impl<T: SimdScalar, I: Index> FormatData<T, I> {
 impl<T: Scalar, I: Index> MemoryFootprint for FormatData<T, I> {
     fn memory_footprint(&self) -> usize {
         FormatData::memory_footprint(self)
+    }
+}
+
+/// A converted [`AnyMatrix`] is a [`FormatData`] with kernels attached —
+/// this is the structural bridge between the core conversion graph and
+/// the kernel dispatch layer.
+impl<T: Scalar, I: Index> From<AnyMatrix<T, I>> for FormatData<T, I> {
+    fn from(m: AnyMatrix<T, I>) -> Self {
+        match m {
+            AnyMatrix::Coo(x) => FormatData::Coo(x),
+            AnyMatrix::Csr(x) => FormatData::Csr(x),
+            AnyMatrix::Ell(x) => FormatData::Ell(x),
+            AnyMatrix::Bcsr(x) => FormatData::Bcsr(x),
+            AnyMatrix::Bell(x) => FormatData::Bell(x),
+            AnyMatrix::Csr5(x) => FormatData::Csr5(x),
+            AnyMatrix::Sell(x) => FormatData::Sell(x),
+            AnyMatrix::Hyb(x) => FormatData::Hyb(x),
+        }
     }
 }
 

@@ -205,7 +205,7 @@ mod tests {
     #[test]
     fn hyb_serial_and_parallel_match_reference() {
         let (coo, b) = skewed();
-        let hyb = HybMatrix::from_coo(&coo);
+        let hyb = HybMatrix::from_coo(&coo).unwrap();
         assert!(hyb.tail().nnz() > 0, "fixture must exercise the tail");
         let k = 12;
         let expected = coo.spmm_reference_k(&b, k);
@@ -243,7 +243,7 @@ mod tests {
     fn sell_stores_fewer_slots_than_ell_on_skew() {
         let (coo, _) = skewed();
         let sell = SellMatrix::from_coo(&coo, 4, 40).unwrap();
-        let ell = spmm_core::EllMatrix::from_coo(&coo);
+        let ell = spmm_core::EllMatrix::from_coo(&coo).unwrap();
         assert!(
             sell.padded_len() < ell.padded_len(),
             "sell {} vs ell {}",

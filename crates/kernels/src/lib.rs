@@ -41,8 +41,10 @@ pub mod spmv;
 pub mod tiled;
 pub mod transpose;
 mod util;
+pub mod workspace;
 
 pub use dispatch::FormatData;
+pub use workspace::{Workspace, WorkspaceView};
 
 use spmm_core::{DenseMatrix, Scalar};
 

@@ -327,7 +327,7 @@ mod tests {
     fn const_k_kernels_match_reference() {
         let (coo, b) = fixture();
         let csr = CsrMatrix::from_coo(&coo);
-        let ell = EllMatrix::from_coo(&coo);
+        let ell = EllMatrix::from_coo(&coo).unwrap();
         let bcsr = BcsrMatrix::from_coo(&coo, 3).unwrap();
         for k in [8usize, 16, 32, 64] {
             let expected = coo.spmm_reference_k(&b, k);
@@ -357,7 +357,7 @@ mod tests {
         let pool = ThreadPool::new(4);
         let (coo, b) = fixture();
         let csr = CsrMatrix::from_coo(&coo);
-        let ell = EllMatrix::from_coo(&coo);
+        let ell = EllMatrix::from_coo(&coo).unwrap();
         let expected = coo.spmm_reference_k(&b, 32);
         let mut c = DenseMatrix::zeros(30, 32);
         assert!(csr_spmm_fixed_k_parallel(

@@ -113,10 +113,26 @@ pub fn csr_spmm_balanced<T: Scalar, I: Index>(
     k: usize,
     c: &mut DenseMatrix<T>,
 ) {
-    check_spmm_shapes(a.rows(), a.cols(), b, k, c);
     let threads = threads.max(1);
     let row_ptr = a.row_ptr();
     let ranges = spmm_parallel::balanced_partition(a.rows(), threads, |i| row_ptr[i].as_usize());
+    csr_spmm_balanced_in(pool, threads, a, b, k, &ranges, c);
+}
+
+/// [`csr_spmm_balanced`] against a precomputed partition (one range per
+/// thread, concatenating to `0..rows`), so the timed loop of a benchmark
+/// can reuse the split instead of reallocating it on every call.
+pub fn csr_spmm_balanced_in<T: Scalar, I: Index>(
+    pool: &ThreadPool,
+    threads: usize,
+    a: &CsrMatrix<T, I>,
+    b: &DenseMatrix<T>,
+    k: usize,
+    ranges: &[std::ops::Range<usize>],
+    c: &mut DenseMatrix<T>,
+) {
+    check_spmm_shapes(a.rows(), a.cols(), b, k, c);
+    let threads = threads.max(1).min(ranges.len());
     let k_cols = c.cols();
     let c_slice = DisjointSlice::new(c.as_mut_slice());
     let ranges_ref = &ranges;
@@ -356,7 +372,7 @@ mod tests {
         let pool = ThreadPool::new(4);
         let (coo, b) = fixture(97, 61, 42);
         let csr = CsrMatrix::from_coo(&coo);
-        let ell = EllMatrix::from_coo(&coo);
+        let ell = EllMatrix::from_coo(&coo).unwrap();
         let bcsr = BcsrMatrix::from_coo(&coo, 4).unwrap();
         let bell = BellMatrix::from_coo(&coo, 4).unwrap();
         let csr5 = Csr5Matrix::from_csr_with_tile(&csr, 16).unwrap();
@@ -459,7 +475,7 @@ mod tests {
         let mut c = DenseMatrix::from_fn(8, 4, |_, _| 9.0);
         coo_spmm(&pool, 4, &coo, &b, 4, &mut c);
         assert!(c.as_slice().iter().all(|&v| v == 0.0));
-        let csr5 = Csr5Matrix::from_coo(&coo);
+        let csr5 = Csr5Matrix::from_coo(&coo).unwrap();
         let mut c = DenseMatrix::from_fn(8, 4, |_, _| 9.0);
         csr5_spmm(&pool, 4, Schedule::Static, &csr5, &b, 4, &mut c);
         assert!(c.as_slice().iter().all(|&v| v == 0.0));

@@ -198,7 +198,7 @@ mod tests {
     fn all_formats_match_reference_for_all_k() {
         let (coo, b) = fixture();
         let csr = CsrMatrix::from_coo(&coo);
-        let ell = EllMatrix::from_coo(&coo);
+        let ell = EllMatrix::from_coo(&coo).unwrap();
         let bcsr = BcsrMatrix::from_coo(&coo, 2).unwrap();
         let bell = BellMatrix::from_coo(&coo, 2).unwrap();
         let csr5 = Csr5Matrix::from_csr_with_tile(&csr, 3).unwrap();

@@ -679,7 +679,7 @@ mod tests {
     fn every_spmm_kernel_matches_reference_at_every_level() {
         let (coo, b) = fixture();
         let csr = CsrMatrix::<f64>::from_coo(&coo);
-        let ell = EllMatrix::<f64>::from_coo(&coo);
+        let ell = EllMatrix::<f64>::from_coo(&coo).unwrap();
         let bcsr = BcsrMatrix::<f64>::from_coo(&coo, 4).unwrap();
         for level in [SimdLevel::Scalar, SimdLevel::Neon, hardware_level()] {
             for k in [1usize, 3, 4, 8, 13, 19] {

@@ -233,7 +233,7 @@ mod tests {
         assert_eq!(y, expected);
         csr_spmv(&CsrMatrix::from_coo(&coo), &x, &mut y);
         assert_eq!(y, expected);
-        ell_spmv(&EllMatrix::from_coo(&coo), &x, &mut y);
+        ell_spmv(&EllMatrix::from_coo(&coo).unwrap(), &x, &mut y);
         assert_eq!(y, expected);
         bcsr_spmv(&BcsrMatrix::from_coo(&coo, 2).unwrap(), &x, &mut y);
         assert_eq!(y, expected);
@@ -261,7 +261,7 @@ mod tests {
                 &pool,
                 t,
                 Schedule::Dynamic(1),
-                &EllMatrix::from_coo(&coo),
+                &EllMatrix::from_coo(&coo).unwrap(),
                 &x,
                 &mut y,
             );

@@ -818,7 +818,7 @@ mod tests {
     #[test]
     fn tiled_ell_and_bcsr_match_reference() {
         let (coo, b) = fixture(17, 17, 24);
-        let ell = EllMatrix::from_coo(&coo);
+        let ell = EllMatrix::from_coo(&coo).unwrap();
         let bcsr = BcsrMatrix::from_coo(&coo, 3).unwrap();
         let expected = coo.spmm_reference_k(&b, 24);
         for panel_w in [5, 8, 24, 32] {
@@ -837,7 +837,7 @@ mod tests {
     fn tiled_parallel_matches_serial_for_all_schedules() {
         let (coo, b) = fixture(37, 29, 20);
         let csr = CsrMatrix::from_coo(&coo);
-        let ell = EllMatrix::from_coo(&coo);
+        let ell = EllMatrix::from_coo(&coo).unwrap();
         let bcsr = BcsrMatrix::from_coo(&coo, 2).unwrap();
         let expected = coo.spmm_reference_k(&b, 20);
         let pool = ThreadPool::new(4);
@@ -891,7 +891,7 @@ mod tests {
         // class — const-dispatched, runtime fallback, and ragged panels.
         let (coo, b) = fixture(29, 23, 40);
         let csr = CsrMatrix::from_coo(&coo);
-        let ell = EllMatrix::from_coo(&coo);
+        let ell = EllMatrix::from_coo(&coo).unwrap();
         let bcsr = BcsrMatrix::from_coo(&coo, 3).unwrap();
         let expected = coo.spmm_reference_k(&b, 40);
         for level in [SimdLevel::Scalar, crate::simd::hardware_level()] {

@@ -297,7 +297,7 @@ mod tests {
     fn serial_bt_kernels_match_reference() {
         let (coo, b, bt) = fixture();
         let csr = CsrMatrix::from_coo(&coo);
-        let ell = EllMatrix::from_coo(&coo);
+        let ell = EllMatrix::from_coo(&coo).unwrap();
         let bcsr = BcsrMatrix::from_coo(&coo, 3).unwrap();
         for k in [1, 4, 9] {
             let expected = coo.spmm_reference_k(&b, k);
@@ -318,7 +318,7 @@ mod tests {
         let pool = ThreadPool::new(4);
         let (coo, b, bt) = fixture();
         let csr = CsrMatrix::from_coo(&coo);
-        let ell = EllMatrix::from_coo(&coo);
+        let ell = EllMatrix::from_coo(&coo).unwrap();
         let bcsr = BcsrMatrix::from_coo(&coo, 2).unwrap();
         for threads in [1, 3, 6] {
             let k = 5;

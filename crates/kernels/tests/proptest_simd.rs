@@ -50,7 +50,7 @@ proptest! {
         let expected = coo.spmm_reference_k(&b, k);
 
         let csr = CsrMatrix::<f64>::from_coo(&coo);
-        let ell = EllMatrix::from_coo(&coo);
+        let ell = EllMatrix::from_coo(&coo).expect("ELL constructs");
         let bcsr = BcsrMatrix::from_coo(&coo, block).expect("BCSR constructs");
         // Lane widths 2/4/8 with varying σ exercise full slices, remainder
         // rows, and sort windows that straddle slice boundaries.

@@ -27,7 +27,7 @@ mod partition;
 mod pool;
 mod schedule;
 
-pub use partition::balanced_partition;
+pub use partition::{balanced_partition, balanced_partition_into};
 pub use pool::ThreadPool;
 pub use schedule::Schedule;
 

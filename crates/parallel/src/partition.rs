@@ -27,15 +27,30 @@ pub fn balanced_partition(
     parts: usize,
     prefix: impl Fn(usize) -> usize,
 ) -> Vec<Range<usize>> {
+    let mut out = Vec::new();
+    balanced_partition_into(n, parts, prefix, &mut out);
+    out
+}
+
+/// [`balanced_partition`] writing into a caller-owned buffer, so repeated
+/// launches (a benchmark's timed loop, a study sweep) can compute the
+/// split without allocating once the buffer has grown to `parts` ranges.
+pub fn balanced_partition_into(
+    n: usize,
+    parts: usize,
+    prefix: impl Fn(usize) -> usize,
+    out: &mut Vec<Range<usize>>,
+) {
     let parts = parts.max(1);
     let total = prefix(n);
-    let mut bounds = Vec::with_capacity(parts + 1);
-    bounds.push(0usize);
+    out.clear();
+    out.reserve(parts);
+    let mut prev = 0usize;
     for t in 1..parts {
         let target = total * t / parts;
         // Smallest i with prefix(i) >= target, found by binary search over
         // the monotone prefix; clamp to keep bounds non-decreasing.
-        let mut lo = *bounds.last().expect("bounds never empty");
+        let mut lo = prev;
         let mut hi = n;
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
@@ -45,10 +60,10 @@ pub fn balanced_partition(
                 hi = mid;
             }
         }
-        bounds.push(lo);
+        out.push(prev..lo);
+        prev = lo;
     }
-    bounds.push(n);
-    bounds.windows(2).map(|w| w[0]..w[1]).collect()
+    out.push(prev..n);
 }
 
 #[cfg(test)]

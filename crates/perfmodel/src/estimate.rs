@@ -231,6 +231,19 @@ pub fn estimate_spmm_mflops(machine: &MachineProfile, w: &SpmmWorkload, threads:
     w.useful_flops() / time / 1e6
 }
 
+/// Modelled seconds a format conversion touching `bytes` of matrix data
+/// spends on one core. Conversions are single-threaded streaming passes
+/// (read the source layout, write the target layout), so the cost is pure
+/// bandwidth: `bytes / per_core_gbps`. The planner charges this against
+/// each candidate route's total edge bytes when amortizing a conversion
+/// over the timed iterations.
+pub fn conversion_seconds(machine: &MachineProfile, bytes: f64) -> f64 {
+    if bytes <= 0.0 {
+        return 0.0;
+    }
+    bytes / (machine.per_core_gbps * 1e9)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -388,5 +401,14 @@ mod tests {
         let big = workload(SparseFormat::Csr, 512);
         assert!(serial_time_s(&arm, &small) > 0.0);
         assert!(serial_time_s(&arm, &big) > 10.0 * serial_time_s(&arm, &small));
+    }
+
+    #[test]
+    fn conversion_cost_is_linear_in_bytes() {
+        let m = MachineProfile::container_host();
+        assert_eq!(conversion_seconds(&m, 0.0), 0.0);
+        let one_gb = conversion_seconds(&m, 1e9);
+        assert!((one_gb - 1.0 / m.per_core_gbps).abs() < 1e-12);
+        assert!((conversion_seconds(&m, 2e9) - 2.0 * one_gb).abs() < 1e-12);
     }
 }

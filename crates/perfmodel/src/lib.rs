@@ -32,6 +32,8 @@ mod machine;
 mod tiling;
 
 pub use attainment::{attainment, modeled_traffic_bytes, Attainment};
-pub use estimate::{estimate_spmm_mflops, serial_time_s, simd_speedup, SpmmWorkload};
+pub use estimate::{
+    conversion_seconds, estimate_spmm_mflops, serial_time_s, simd_speedup, SpmmWorkload,
+};
 pub use machine::MachineProfile;
 pub use tiling::{panel_width_for_cache, select_tile_shape, TileShape};

@@ -2,13 +2,17 @@
 //! ([18], [9] in the paper) of predicting the best format from structural
 //! metrics, then checking the prediction by measuring.
 //!
-//! The heuristics come straight from the paper's conclusions (§6.1/§6.2):
-//! high column ratio kills ELL; very regular matrices love it; good
-//! spatial locality rewards BCSR; otherwise CSR is the safe default.
+//! Two advisors compete here:
+//! * a heuristic straight from the paper's conclusions (§6.1/§6.2): high
+//!   column ratio kills ELL; very regular matrices love it; good spatial
+//!   locality rewards BCSR; otherwise CSR is the safe default;
+//! * the harness [`Planner`](spmm_bench::harness::Planner), which scores
+//!   each format with the calibrated roofline model and picks the highest
+//!   predicted MFLOPS.
 //!
-//! Alongside the format, the advisor recommends a tile shape for the
-//! cache-blocked engine ([`spmm_bench::kernels::tiled`]): panel width from
-//! the host cache model, register rows from the matrix shape.
+//! Every measurement runs through the plan/execute engine: the planner
+//! builds the conversion route and tile shape, the executor owns the
+//! buffers, and the timed passes are allocation-free.
 //!
 //! ```text
 //! cargo run --release --example format_advisor
@@ -17,10 +21,8 @@
 use std::time::Instant;
 
 use spmm_bench::core::{DenseMatrix, MatrixProperties, SparseFormat};
-use spmm_bench::kernels::tiled::TileConfig;
-use spmm_bench::kernels::FormatData;
+use spmm_bench::harness::{Executor, Params, Planner, Variant};
 use spmm_bench::matgen;
-use spmm_bench::perfmodel::{select_tile_shape, MachineProfile, SpmmWorkload, TileShape};
 
 /// Predict the best format for a serial SpMM from the Table 5.1 metrics.
 fn advise(p: &MatrixProperties) -> SparseFormat {
@@ -35,83 +37,89 @@ fn advise(p: &MatrixProperties) -> SparseFormat {
     SparseFormat::Csr
 }
 
-/// Recommend a tile shape for the cache-blocked engine on this host: the
-/// column-locality window comes from the structural metrics (banded
-/// matrices revisit a band about as wide as their fullest row; scattered
-/// ones touch all of B).
-fn advise_tile(props: &MatrixProperties, format: SparseFormat, k: usize) -> TileShape {
-    let window = if props.bandwidth < props.cols / 2 {
-        (2 * props.max_row_nnz).max(props.bandwidth)
-    } else {
-        props.cols
-    };
-    let workload = SpmmWorkload::new(
+fn params_for(format: SparseFormat, k: usize, variant: Variant) -> Params {
+    Params {
         format,
-        props.rows,
-        props.cols,
-        props.nnz,
-        props.nnz,
-        props.max_row_nnz,
-        props.nnz * 12,
-        1,
+        variant,
         k,
-    )
-    .with_col_window(window);
-    select_tile_shape(
-        &MachineProfile::container_host(),
-        &workload,
-        &spmm_bench::kernels::optimized::SUPPORTED_K,
-    )
+        ..Params::default()
+    }
 }
 
 fn main() {
     let k = 32;
+    let planner = Planner::new();
     println!(
-        "{:<16} {:>7} {:>9} | {:<9} {:<9} {:>9} agreement",
-        "matrix", "ratio", "ell-eff", "advised", "measured", "tile"
+        "{:<16} {:>7} {:>9} | {:<9} {:<9} {:<9} {:>9} agreement",
+        "matrix", "ratio", "ell-eff", "advised", "modeled", "measured", "tile"
     );
 
-    let mut agreements = 0;
+    let mut heuristic_hits = 0;
+    let mut model_hits = 0;
     let mut total = 0;
     for spec in matgen::full_suite() {
         let coo = spec.generate(0.02, 11);
         let props = coo.properties();
         let advised = advise(&props);
-        let tile = advise_tile(&props, advised, k);
 
-        // Measure every format serially and crown the real winner.
+        // The engine's tile choice for the advised format: plan a tiled
+        // run and read the shape the perf model picked.
+        let tile = planner
+            .plan(&props, &params_for(advised, k, Variant::Tiled))
+            .ok()
+            .and_then(|p| p.tile);
+
+        // Measure every paper format through the plan/execute engine, and
+        // keep the planner's predicted MFLOPS alongside the measured time.
         let b = DenseMatrix::from_fn(coo.cols(), k, |i, j| ((i + j) % 7) as f64 - 3.0);
-        let mut c = DenseMatrix::zeros(coo.rows(), k);
         let mut best: Option<(SparseFormat, f64)> = None;
+        let mut modeled_best: Option<(SparseFormat, f64)> = None;
         for format in SparseFormat::PAPER {
-            let data = FormatData::from_coo(format, &coo, 4).expect("formats construct");
-            // One warm-up, then time two passes.
-            data.spmm_serial(&b, k, &mut c);
+            let plan = planner
+                .plan(&props, &params_for(format, k, Variant::Normal))
+                .expect("paper formats plan");
+            if let Some(pred) = plan.predicted_mflops {
+                if modeled_best.is_none() || pred > modeled_best.unwrap().1 {
+                    modeled_best = Some((format, pred));
+                }
+            }
+            let mut exec = Executor::new(plan);
+            exec.prepare(&coo, &b).expect("paper formats construct");
+            // One warm-up, then time two allocation-free passes.
+            exec.execute(&b, &[]).expect("paper formats execute");
             let start = Instant::now();
-            data.spmm_serial(&b, k, &mut c);
-            data.spmm_serial(&b, k, &mut c);
+            exec.execute(&b, &[]).expect("paper formats execute");
+            exec.execute(&b, &[]).expect("paper formats execute");
             let t = start.elapsed().as_secs_f64() / 2.0;
-            if best.is_none() || t < best.as_ref().map(|b| b.1).unwrap_or(f64::MAX) {
+            if best.is_none() || t < best.unwrap().1 {
                 best = Some((format, t));
             }
         }
         let (winner, _) = best.expect("four formats measured");
+        let modeled = modeled_best.expect("model scores cpu runs").0;
 
-        let agree = winner == advised;
-        agreements += usize::from(agree);
+        let heuristic_agrees = winner == advised;
+        heuristic_hits += usize::from(heuristic_agrees);
+        model_hits += usize::from(winner == modeled);
         total += 1;
-        let cfg = TileConfig::new(tile.panel_w, tile.row_block);
         println!(
-            "{:<16} {:>7.1} {:>9.2} | {:<9} {:<9} {:>9} {}",
+            "{:<16} {:>7.1} {:>9.2} | {:<9} {:<9} {:<9} {:>9} {}",
             spec.name,
             props.column_ratio,
             props.ell_efficiency,
             advised.name(),
+            modeled.name(),
             winner.name(),
-            format!("w{}xmr{}", cfg.panel_w, cfg.row_block),
-            if agree { "yes" } else { "no" },
+            tile.map_or("-".to_string(), |t| format!(
+                "w{}xmr{}",
+                t.panel_w, t.row_block
+            )),
+            if heuristic_agrees { "yes" } else { "no" },
         );
     }
-    println!("\nheuristic matched the measured winner on {agreements}/{total} matrices");
+    println!(
+        "\nheuristic matched the measured winner on {heuristic_hits}/{total} matrices, \
+         the planner's roofline model on {model_hits}/{total}"
+    );
     println!("(the paper's point stands: properties guide, but there is no universal formula)");
 }

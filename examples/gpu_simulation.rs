@@ -17,7 +17,7 @@ fn main() {
     let b = DenseMatrix::from_fn(coo.cols(), k, |i, j| ((i * 3 + j) % 11) as f64 - 5.0);
     let reference = coo.spmm_reference_k(&b, k);
     let csr = CsrMatrix::from_coo(&coo);
-    let ell = EllMatrix::from_coo(&coo);
+    let ell = EllMatrix::from_coo(&coo).expect("ELL constructs");
     let useful = spmm_bench::kernels::spmm_flops(coo.nnz(), k);
 
     println!("matrix: pdb1HYS replica — {}", coo.properties());

@@ -38,7 +38,7 @@ fn main() {
 
     // 2. Compress into the study formats.
     let csr = CsrMatrix::from_coo(&coo);
-    let ell = EllMatrix::from_coo(&coo);
+    let ell = EllMatrix::from_coo(&coo).expect("ELL constructs");
     let bcsr = BcsrMatrix::from_coo(&coo, 2).expect("block size 2 is valid");
     println!(
         "footprints: coo={}B csr={}B ell={}B bcsr(2x2)={}B",

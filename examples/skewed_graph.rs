@@ -34,9 +34,9 @@ fn main() {
     let reference = graph.spmm_reference_k(&b, k);
     let useful = spmm_flops(graph.nnz(), k);
 
-    let ell = EllMatrix::from_coo(&graph);
+    let ell = EllMatrix::from_coo(&graph).expect("ELL constructs");
     let sell = SellMatrix::from_coo(&graph, 8, 256).expect("valid SELL params");
-    let hyb = HybMatrix::from_coo(&graph);
+    let hyb = HybMatrix::from_coo(&graph).expect("HYB constructs");
 
     println!(
         "{:<10} {:>14} {:>12} {:>12} {:>10}",
