@@ -96,7 +96,10 @@ impl<T: Scalar, I: Index> BcsrMatrix<T, I> {
                     let bc = cu / c;
                     let local_c = cu % c;
                     let block = base_block + slot_of[bc];
-                    values[block * block_area + local_r * c + local_c] = v;
+                    // `+=`, not `=`: COO (and thus CSR, which preserves it)
+                    // may carry duplicate coordinates, and their sum is the
+                    // entry every summing kernel computes.
+                    values[block * block_area + local_r * c + local_c] += v;
                 }
             }
 
@@ -180,7 +183,7 @@ impl<T: Scalar, I: Index> BcsrMatrix<T, I> {
                     for (&cc, &v) in rcols.iter().zip(rvals) {
                         let cu = cc.as_usize();
                         if (col_lo..col_hi).contains(&cu) {
-                            values[base + (i - row_lo) * c + (cu - col_lo)] = v;
+                            values[base + (i - row_lo) * c + (cu - col_lo)] += v;
                         }
                     }
                 }

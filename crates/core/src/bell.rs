@@ -92,7 +92,9 @@ impl<T: Scalar, I: Index> BellMatrix<T, I> {
                     let cu = col.as_usize();
                     let bc = cu / c;
                     let slot = occ.binary_search(&bc).expect("pass 1 recorded this block");
-                    values[(base + slot) * area + local_r * c + (cu % c)] = v;
+                    // `+=` so duplicate COO coordinates sum instead of the
+                    // last one winning.
+                    values[(base + slot) * area + local_r * c + (cu % c)] += v;
                 }
             }
         }

@@ -423,8 +423,16 @@ impl ConversionGraph {
         let stats = MatrixStats::of_coo(coo).with_block(cfg.block);
         let route = self.route(SparseFormat::Coo, target, &stats)?;
         if route.len() == 1 {
+            // The identity hop is still the COO "formatting" phase: raw
+            // assembly COO (pushed, possibly unsorted with duplicate
+            // coordinates) becomes the sorted, merged form the kernels'
+            // row-aligned splits require.
+            let mut out = coo.clone();
+            if !out.is_sorted() {
+                out.sort_and_sum_duplicates();
+            }
             return Ok(Converted {
-                matrix: AnyMatrix::Coo(coo.clone()),
+                matrix: AnyMatrix::Coo(out),
                 route,
             });
         }

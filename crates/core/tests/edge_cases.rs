@@ -1,0 +1,191 @@
+//! Edge-shape regression tests for every format constructor: the shapes
+//! the adversarial verification corpus exercises through the engine are
+//! pinned here directly against `ConversionGraph` and the `from_coo`
+//! entry points, so a future refactor that reintroduces an empty-matrix
+//! or single-row panic fails fast in this crate rather than three layers
+//! up in the differential harness.
+
+use spmm_core::{
+    BcsrMatrix, BellMatrix, ConversionGraph, ConvertConfig, CooMatrix, Csr5Matrix, CsrMatrix,
+    DenseMatrix, EllMatrix, HybMatrix, SellMatrix, SparseFormat, SparseMatrix,
+};
+
+/// One edge shape: `(name, rows, cols, triplets)`.
+type EdgeShape = (&'static str, usize, usize, Vec<(usize, usize, f64)>);
+
+fn edge_shapes() -> Vec<EdgeShape> {
+    vec![
+        ("empty-1x1", 1, 1, vec![]),
+        ("empty-4x4", 4, 4, vec![]),
+        ("empty-9x5", 9, 5, vec![]),
+        ("single-entry", 1, 1, vec![(0, 0, 2.5)]),
+        (
+            "single-row",
+            1,
+            16,
+            (0..16).map(|j| (0, j, j as f64 + 1.0)).collect(),
+        ),
+        (
+            "single-col",
+            16,
+            1,
+            (0..16).map(|i| (i, 0, i as f64 - 3.0)).collect(),
+        ),
+        (
+            "one-dense-row",
+            8,
+            8,
+            (0..8).map(|j| (3, j, 1.0 + j as f64)).collect(),
+        ),
+        (
+            "all-zero-values",
+            4,
+            4,
+            (0..4).map(|i| (i, i, 0.0)).collect(),
+        ),
+        (
+            "trailing-empty-rows",
+            10,
+            6,
+            vec![(0, 0, 1.0), (1, 5, -2.0), (2, 2, 3.0)],
+        ),
+    ]
+}
+
+/// Every format converts every edge shape without panicking or erroring,
+/// and round-trips to the COO reference.
+#[test]
+fn every_format_accepts_every_edge_shape() {
+    let graph = ConversionGraph::standard();
+    for (name, rows, cols, trips) in edge_shapes() {
+        let coo = CooMatrix::<f64>::from_triplets(rows, cols, &trips).expect("in bounds");
+        for format in SparseFormat::ALL {
+            for block in [1usize, 2, 4] {
+                let converted = graph
+                    .convert_coo(&coo, format, &ConvertConfig::with_block(block))
+                    .unwrap_or_else(|e| panic!("{name}: {format} b={block}: {e}"));
+                let mut back = converted.matrix.to_coo_wide();
+                back.prune_zeros();
+                back.sort_and_sum_duplicates();
+                let mut want = coo.to_coo();
+                want.prune_zeros();
+                want.sort_and_sum_duplicates();
+                assert_eq!(back, want, "{name}: {format} b={block} round-trip");
+            }
+        }
+    }
+}
+
+/// The direct Hyb and Csr5 entry points (the satellite's named suspects)
+/// handle the same shapes without the threshold-split or tile-build
+/// panicking.
+#[test]
+fn hyb_and_csr5_direct_constructors_accept_edge_shapes() {
+    for (name, rows, cols, trips) in edge_shapes() {
+        let coo = CooMatrix::<f64>::from_triplets(rows, cols, &trips).expect("in bounds");
+        let hyb =
+            HybMatrix::<f64, usize>::from_coo(&coo).unwrap_or_else(|e| panic!("{name}: hyb: {e}"));
+        assert_eq!((hyb.rows(), hyb.cols()), (rows, cols), "{name}: hyb shape");
+        let csr5 = Csr5Matrix::<f64, usize>::from_coo(&coo)
+            .unwrap_or_else(|e| panic!("{name}: csr5: {e}"));
+        assert_eq!(
+            (csr5.rows(), csr5.cols()),
+            (rows, cols),
+            "{name}: csr5 shape"
+        );
+        // SELL at its lane-width slice height, and ELL, for good measure.
+        SellMatrix::<f64, usize>::from_coo(&coo, 8, 64)
+            .unwrap_or_else(|e| panic!("{name}: sell: {e}"));
+        EllMatrix::<f64, usize>::from_coo(&coo).unwrap_or_else(|e| panic!("{name}: ell: {e}"));
+    }
+}
+
+/// Duplicate COO coordinates must *sum* through every conversion — the
+/// blocked formats used to let the last duplicate win.
+#[test]
+fn duplicate_coordinates_sum_through_every_format() {
+    // Raw pushes, unsorted and with duplicates; (3,3) cancels exactly.
+    let mut coo = CooMatrix::<f64>::new(6, 6);
+    for &(r, c, v) in &[
+        (0usize, 1usize, 1.0f64),
+        (0, 1, 2.0),
+        (0, 1, -0.5),
+        (3, 3, 4.0),
+        (3, 3, -4.0),
+        (2, 0, 1.25),
+        (5, 4, -2.0),
+        (1, 1, 0.75),
+    ] {
+        coo.push(r, c, v).unwrap();
+    }
+    let b = DenseMatrix::from_fn(6, 3, |i, j| ((i * 31 + j * 17 + 5) % 23) as f64 / 7.0 - 1.5);
+    let want = coo.spmm_reference_k(&b, 3);
+
+    let graph = ConversionGraph::standard();
+    for format in SparseFormat::ALL {
+        for block in [1usize, 2, 3] {
+            let converted = graph
+                .convert_coo(&coo, format, &ConvertConfig::with_block(block))
+                .unwrap_or_else(|e| panic!("{format} b={block}: {e}"));
+            let dense = converted.matrix.to_coo_wide().to_dense();
+            let got = DenseMatrix::from_fn(6, 3, |i, j| {
+                (0..6).map(|l| dense.get(i, l) * b.get(l, j)).sum::<f64>()
+            });
+            for i in 0..6 {
+                for j in 0..3 {
+                    assert!(
+                        (got.get(i, j) - want.get(i, j)).abs() < 1e-12,
+                        "{format} b={block}: C[{i},{j}] = {} want {}",
+                        got.get(i, j),
+                        want.get(i, j)
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The specific fills that used to overwrite: BCSR and BELL built straight
+/// from a duplicate-carrying CSR.
+#[test]
+fn bcsr_and_bell_sum_duplicates_from_csr() {
+    let mut coo = CooMatrix::<f64>::new(4, 4);
+    coo.push(1, 1, 3.0).unwrap();
+    coo.push(1, 1, -1.0).unwrap();
+    coo.push(3, 2, 0.5).unwrap();
+    coo.push(3, 2, 0.25).unwrap();
+    let csr = CsrMatrix::<f64, usize>::from_coo(&coo);
+    assert_eq!(csr.nnz(), 4, "CSR keeps duplicates as stored entries");
+
+    let bcsr = BcsrMatrix::from_csr(&csr, 2).unwrap();
+    assert_eq!(bcsr.to_dense().get(1, 1), 2.0);
+    assert_eq!(bcsr.to_dense().get(3, 2), 0.75);
+    let naive = BcsrMatrix::from_csr_naive(&csr, 2).unwrap();
+    assert_eq!(naive.to_dense().get(1, 1), 2.0);
+
+    let bell = BellMatrix::from_csr(&csr, 2).unwrap();
+    assert_eq!(bell.to_dense().get(1, 1), 2.0);
+    assert_eq!(bell.to_dense().get(3, 2), 0.75);
+}
+
+/// The COO identity hop through the graph canonicalizes raw pushed input:
+/// sorted row-major, duplicates merged — the form the parallel kernels'
+/// row-aligned splits require.
+#[test]
+fn coo_identity_conversion_canonicalizes() {
+    let mut coo = CooMatrix::<f64>::new(4, 4);
+    coo.push(3, 3, 4.0).unwrap();
+    coo.push(0, 1, 1.0).unwrap();
+    coo.push(3, 3, -4.0).unwrap();
+    coo.push(0, 1, 2.0).unwrap();
+    assert!(!coo.is_sorted());
+
+    let out = ConversionGraph::standard()
+        .convert_coo(&coo, SparseFormat::Coo, &ConvertConfig::default())
+        .unwrap()
+        .matrix
+        .into_coo()
+        .unwrap();
+    assert!(out.is_sorted());
+    assert_eq!(out.spmv_reference(&[1.0; 4]), coo.spmv_reference(&[1.0; 4]));
+}

@@ -67,4 +67,79 @@ proptest! {
         back.sort_and_sum_duplicates();
         prop_assert_eq!(back, coo.to_coo());
     }
+
+    /// Raw assembly input — pushed out of order, with duplicate
+    /// coordinates — reaches every format as the *summed* matrix. The
+    /// triplets are drawn without canonicalization, so duplicates and
+    /// unsorted runs survive into the conversion input.
+    #[test]
+    fn raw_pushed_coo_converts_to_the_summed_matrix(
+        shape in (1usize..12, 1usize..12).prop_flat_map(|(r, c)| {
+            proptest::collection::vec(
+                (0..r, 0..c, 1i32..50).prop_map(|(i, j, v)| (i, j, v as f64 / 4.0)),
+                0..40,
+            )
+            .prop_map(move |t| (r, c, t))
+        })
+    ) {
+        let (rows, cols, trips) = shape.clone();
+        let mut raw = CooMatrix::<f64>::new(rows, cols);
+        for &(r, c, v) in &trips {
+            raw.push(r, c, v).expect("in bounds");
+        }
+        let canonical =
+            CooMatrix::<f64>::from_triplets(rows, cols, &trips).expect("in bounds");
+
+        let graph = ConversionGraph::standard();
+        for target in SparseFormat::ALL {
+            let converted = graph
+                .convert_coo(&raw, target, &ConvertConfig::with_block(2))
+                .unwrap();
+            let mut back = converted.matrix.to_coo_wide();
+            back.prune_zeros();
+            back.sort_and_sum_duplicates();
+            prop_assert!(back == canonical.to_coo(), "{target} lost duplicate sums");
+        }
+    }
+}
+
+/// The standard topology routes every non-hub pair through the CSR hub:
+/// e.g. ELL → BCSR must be the multi-hop ELL → COO → CSR → BCSR, never a
+/// fabricated direct edge.
+#[test]
+fn non_hub_pairs_route_through_the_csr_hub() {
+    let graph = ConversionGraph::standard();
+    let coo = CooMatrix::<f64>::from_triplets(8, 8, &[(0, 0, 1.0), (3, 5, 2.0), (7, 7, 3.0)])
+        .expect("in bounds");
+    let stats = MatrixStats::of_coo(&coo);
+    let leaves = [
+        SparseFormat::Ell,
+        SparseFormat::Bcsr,
+        SparseFormat::Bell,
+        SparseFormat::Sell,
+        SparseFormat::Hyb,
+        SparseFormat::Csr5,
+    ];
+    for from in leaves {
+        for to in leaves {
+            if from == to {
+                continue;
+            }
+            let route = graph.route(from, to, &stats).expect("reachable");
+            assert_eq!(
+                route,
+                vec![from, SparseFormat::Coo, SparseFormat::Csr, to],
+                "{from} -> {to} should take the COO/CSR hub"
+            );
+        }
+    }
+    // And the hub itself is one hop out, one hop home.
+    let route = graph
+        .route(SparseFormat::Csr, SparseFormat::Hyb, &stats)
+        .expect("reachable");
+    assert_eq!(route, vec![SparseFormat::Csr, SparseFormat::Hyb]);
+    let route = graph
+        .route(SparseFormat::Hyb, SparseFormat::Coo, &stats)
+        .expect("reachable");
+    assert_eq!(route, vec![SparseFormat::Hyb, SparseFormat::Coo]);
 }

@@ -6,10 +6,15 @@
 //! ```
 
 use spmm_harness::benchmark::{run, SuiteBenchmark};
+use spmm_harness::verifydrv::{default_repro_dir, run_verify, CorpusKind};
 use spmm_harness::{Params, Report};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--verify") {
+        verify_mode(&args);
+        return;
+    }
     if args.iter().any(|a| a == "--list-matrices") {
         println!(
             "{:<16} {:>8} {:>10} {:>6} {:>6} {:>6}",
@@ -90,6 +95,44 @@ fn main() {
             eprintln!("error: {e}");
             std::process::exit(1);
         }
+    }
+}
+
+/// `--verify`: run the differential correctness oracle over the full
+/// format × backend × variant × schedule matrix and exit non-zero on any
+/// mismatch. Shrunk reproducers land under `results/repro/`.
+fn verify_mode(args: &[String]) {
+    let mut kind = CorpusKind::Both;
+    let mut seed = 42u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--verify-corpus" => match it.next().map(|v| v.parse()) {
+                Some(Ok(k)) => kind = k,
+                _ => {
+                    eprintln!("--verify-corpus needs one of: adversarial, random, both");
+                    std::process::exit(2);
+                }
+            },
+            "--seed" => {
+                if let Some(Ok(s)) = it.next().map(|v| v.parse()) {
+                    seed = s;
+                }
+            }
+            _ => {}
+        }
+    }
+    let repro = default_repro_dir();
+    let report = run_verify(kind, seed, Some(&repro));
+    print!("{}", report.render());
+    if report.passed() {
+        println!("verify: PASS");
+    } else {
+        eprintln!(
+            "verify: FAIL — shrunk reproducers written to {}",
+            repro.display()
+        );
+        std::process::exit(1);
     }
 }
 

@@ -20,6 +20,9 @@
 //! * [`errors`] — the typed [`errors::HarnessError`] the whole API speaks;
 //! * [`telemetry`] — sinks for the `spmm-trace` observability layer
 //!   (chrome://tracing files, metrics JSON blocks);
+//! * [`verifydrv`] — the differential-oracle driver behind
+//!   `spmm-bench --verify`: a `spmm-verify` [`spmm_verify::CaseRunner`]
+//!   implemented over the Planner/Executor pair;
 //! * [`chart`] — ASCII bar rendering for the terminal;
 //! * [`studies`] — one driver per study of the paper's Chapter 5, each
 //!   regenerating the corresponding figure's data series.
@@ -42,9 +45,11 @@ pub mod studies;
 pub mod svg;
 pub mod telemetry;
 pub mod timer;
+pub mod verifydrv;
 
 pub use benchmark::{run, Backend, Op, SpmmBenchmark, SuiteBenchmark, Variant};
 pub use engine::{ExecStrategy, Executor, Plan, Planner};
 pub use errors::HarnessError;
 pub use params::{Params, ParamsBuilder};
 pub use report::Report;
+pub use verifydrv::{run_verify, CorpusKind, EngineRunner};

@@ -445,6 +445,11 @@ impl Params {
            --trace-level <off|spans|full> telemetry detail (default: spans\n\
                                          when --trace-out is set, else off)\n\
            --no-verify                   skip the COO verification pass\n\
+           --verify                      run the differential correctness\n\
+                                         oracle over the full kernel matrix\n\
+                                         and exit (ignores other flags)\n\
+           --verify-corpus <adversarial|random|both>\n\
+                                         corpus for --verify (default both)\n\
            --csv                         machine-readable output\n\
            -d, --debug                   debug output"
     }

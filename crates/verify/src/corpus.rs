@@ -1,0 +1,328 @@
+//! Corpus generation: the matrices the differential engine feeds every
+//! kernel combination.
+//!
+//! Two corpora:
+//!
+//! * [`adversarial_corpus`] — hand-built shapes targeting every known
+//!   soft spot of the suite's formats: empty matrices and empty rows
+//!   (HYB's width split, CSR5's tile walk), one dense row (ELL padding
+//!   blow-up), 1×N / N×1 and single-column shapes, stored zeros,
+//!   degree skew, duplicate COO coordinates, NaN/Inf payloads and
+//!   SELL-C-σ slice-boundary row counts.
+//! * [`random_corpus`] — seeded `spmm-matgen` generators (uniform, banded,
+//!   R-MAT, heavy-row) with k values chosen to hit fixed-k
+//!   instantiations, SIMD remainder lanes and the k=1 degenerate case.
+//!
+//! Each [`Case`] derives its dense operands deterministically from its
+//! dimensions, so the oracle and every kernel see the same `B`/`x`
+//! without threading buffers around.
+
+use spmm_core::{CooMatrix, DenseMatrix};
+use spmm_matgen::gen;
+
+/// One differential test case: a sparse matrix plus the SpMM width and
+/// blocked-format block size to run it with.
+#[derive(Debug, Clone)]
+pub struct Case {
+    /// Stable, path-safe case name (used in reports and repro filenames).
+    pub name: String,
+    /// The sparse operand. May contain duplicate coordinates, stored
+    /// zeros or non-finite payloads — that is the point.
+    pub coo: CooMatrix<f64>,
+    /// SpMM dense-operand width (`-k`).
+    pub k: usize,
+    /// BCSR/BELL block size (`-b`).
+    pub block: usize,
+}
+
+impl Case {
+    /// Build a case from explicit triplets (sorted, duplicates summed).
+    pub fn from_triplets(
+        name: &str,
+        rows: usize,
+        cols: usize,
+        trips: &[(usize, usize, f64)],
+        k: usize,
+        block: usize,
+    ) -> Case {
+        Case {
+            name: name.to_string(),
+            coo: CooMatrix::from_triplets(rows, cols, trips).expect("corpus triplets in bounds"),
+            k,
+            block,
+        }
+    }
+
+    /// The deterministic dense SpMM operand for this case. Values are
+    /// non-dyadic (multiples of 1/7), so accumulation order is visible
+    /// to the tolerance model rather than exactly representable.
+    pub fn b(&self) -> DenseMatrix<f64> {
+        DenseMatrix::from_fn(self.coo.cols(), self.k, |i, j| {
+            ((i * 31 + j * 17 + 5) % 23) as f64 / 7.0 - 1.5
+        })
+    }
+
+    /// The deterministic SpMV operand for this case.
+    pub fn x(&self) -> Vec<f64> {
+        (0..self.coo.cols())
+            .map(|i| ((i * 13 + 3) % 11) as f64 / 7.0 - 0.5)
+            .collect()
+    }
+}
+
+fn diag_value(i: usize) -> f64 {
+    ((i * 7 + 2) % 9) as f64 / 3.0 + 0.5
+}
+
+/// A sparse band matrix with a deterministic, slightly irregular profile;
+/// `deg(i) = 1 + (i % spread)`.
+fn ragged(name: &str, rows: usize, cols: usize, spread: usize, k: usize, block: usize) -> Case {
+    let mut trips = Vec::new();
+    for i in 0..rows {
+        for d in 0..(1 + i % spread.max(1)) {
+            trips.push((i, (i * 3 + d * 5) % cols, diag_value(i + d)));
+        }
+    }
+    Case::from_triplets(name, rows, cols, &trips, k, block)
+}
+
+/// The hand-built adversarial corpus (see the module docs for the rationale
+/// behind each shape).
+pub fn adversarial_corpus() -> Vec<Case> {
+    let mut cases = Vec::new();
+
+    // Entirely empty matrices: no nonzeros, every row empty.
+    cases.push(Case::from_triplets("empty-4x4", 4, 4, &[], 8, 2));
+    cases.push(Case::from_triplets("empty-9x5", 9, 5, &[], 5, 2));
+
+    // Interior and trailing empty rows (HYB width split, CSR5 tile walk,
+    // SELL slices of fully-padded rows).
+    cases.push(Case::from_triplets(
+        "empty-rows",
+        8,
+        8,
+        &[
+            (1, 0, 1.5),
+            (1, 4, -2.0),
+            (2, 2, diag_value(2)),
+            (4, 7, 0.75),
+            (5, 1, diag_value(5)),
+            (5, 5, -1.25),
+        ],
+        8,
+        2,
+    ));
+
+    // One dense row in an otherwise near-empty matrix: ELL width equals
+    // the column count, HYB spills the whole row to COO.
+    {
+        let mut trips: Vec<(usize, usize, f64)> =
+            (0..16).map(|j| (5usize, j, diag_value(j))).collect();
+        trips.push((0, 0, 1.0));
+        trips.push((11, 3, -0.5));
+        cases.push(Case::from_triplets("one-dense-row", 16, 16, &trips, 8, 4));
+    }
+
+    // Degenerate shapes: a single column (N×1), a single row (1×N), and
+    // the 1×1 matrix.
+    cases.push(Case::from_triplets(
+        "n-by-1",
+        16,
+        1,
+        &[(0, 0, 2.0), (7, 0, -1.5), (15, 0, diag_value(3))],
+        8,
+        2,
+    ));
+    cases.push(Case::from_triplets(
+        "1-by-n",
+        1,
+        16,
+        &(0..16)
+            .step_by(3)
+            .map(|j| (0usize, j, diag_value(j)))
+            .collect::<Vec<_>>(),
+        8,
+        2,
+    ));
+    cases.push(Case::from_triplets("1x1", 1, 1, &[(0, 0, -2.5)], 1, 1));
+
+    // Explicitly stored zeros: conversions must neither drop them in one
+    // format and keep them in another, nor let padding paths diverge.
+    cases.push(Case::from_triplets(
+        "stored-zeros",
+        6,
+        6,
+        &[
+            (0, 0, 0.0),
+            (1, 1, 0.0),
+            (2, 0, 1.5),
+            (2, 3, 0.0),
+            (4, 4, diag_value(4)),
+        ],
+        8,
+        2,
+    ));
+
+    // Degree skew: two rows own most of the nonzeros (matgen's generator,
+    // so the profile matches the suite's skewed matrices).
+    cases.push(Case {
+        name: "degree-skew".into(),
+        coo: gen::heavy_rows(48, 2.0, 1.0, 4, 2, 32, 11),
+        k: 16,
+        block: 4,
+    });
+
+    // Duplicate COO coordinates: kernels and conversions must all sum
+    // them. Built with `push` so the duplicates actually reach storage.
+    {
+        let mut coo = CooMatrix::new(5, 5);
+        for (i, j, v) in [
+            (0usize, 1usize, 1.0f64),
+            (0, 1, 2.0),
+            (0, 1, -0.5),
+            (3, 3, 4.0),
+            (3, 3, -4.0),
+            (2, 0, diag_value(1)),
+        ] {
+            coo.push(i, j, v).expect("in bounds");
+        }
+        cases.push(Case {
+            name: "dup-coo".into(),
+            coo,
+            k: 8,
+            block: 2,
+        });
+    }
+
+    // Non-finite payloads: a NaN, and an Inf/-Inf pair whose sum order
+    // decides where the NaN appears (both count as "diverged").
+    cases.push(Case::from_triplets(
+        "nan-payload",
+        8,
+        8,
+        &[
+            (0, 0, 1.0),
+            (3, 2, f64::NAN),
+            (3, 5, 2.0),
+            (6, 6, diag_value(6)),
+        ],
+        8,
+        2,
+    ));
+    cases.push(Case::from_triplets(
+        "inf-payload",
+        8,
+        8,
+        &[
+            (2, 1, f64::INFINITY),
+            (2, 4, f64::NEG_INFINITY),
+            (2, 6, 1.0),
+            (5, 5, -3.0),
+        ],
+        8,
+        2,
+    ));
+
+    // SELL-C-σ slice boundaries: row counts straddling the slice height
+    // (C = 8) with ragged row lengths that stress the σ sorting window.
+    for rows in [7usize, 8, 9, 16, 17] {
+        cases.push(ragged(
+            &format!("sell-boundary-{rows}"),
+            rows,
+            rows,
+            4,
+            8,
+            2,
+        ));
+    }
+
+    // Ragged BCSR edges: dimensions not divisible by the block size.
+    cases.push(ragged("ragged-blocks", 9, 9, 3, 8, 4));
+
+    // Odd k (SIMD remainder columns) and k = 1 (degenerate SpMM).
+    cases.push(ragged("odd-k", 12, 12, 4, 5, 2));
+    cases.push(ragged("k-equals-1", 10, 10, 3, 1, 2));
+
+    cases
+}
+
+/// A seeded random corpus of `count` cases drawn from the `spmm-matgen`
+/// generators, with k cycling through fixed-k widths, SIMD remainders and
+/// the k=1 case.
+pub fn random_corpus(count: usize, seed: u64) -> Vec<Case> {
+    let ks = [8usize, 16, 5, 1, 32];
+    let blocks = [2usize, 4, 3];
+    (0..count)
+        .map(|i| {
+            let s = seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9);
+            let coo = match i % 4 {
+                0 => gen::uniform(16 + (i * 7) % 48, 12 + (i * 5) % 40, 60 + i * 13, s),
+                1 => gen::banded(24 + (i * 3) % 40, 3.0, 1.5, 8, 1, s),
+                2 => gen::rmat(5, 96, 0.45, 0.22, 0.22, s),
+                _ => gen::heavy_rows(32 + (i * 5) % 32, 2.5, 1.0, 6, 2, 20, s),
+            };
+            Case {
+                name: format!("random-{i}"),
+                coo,
+                k: ks[i % ks.len()],
+                block: blocks[i % blocks.len()],
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adversarial_corpus_covers_the_advertised_shapes() {
+        let cases = adversarial_corpus();
+        let names: Vec<&str> = cases.iter().map(|c| c.name.as_str()).collect();
+        for expected in [
+            "empty-4x4",
+            "empty-rows",
+            "one-dense-row",
+            "n-by-1",
+            "1-by-n",
+            "stored-zeros",
+            "degree-skew",
+            "dup-coo",
+            "nan-payload",
+            "inf-payload",
+            "sell-boundary-8",
+            "odd-k",
+            "k-equals-1",
+        ] {
+            assert!(names.contains(&expected), "missing case {expected}");
+        }
+        // Operand shapes line up for every case.
+        for c in &cases {
+            assert_eq!(c.b().rows(), c.coo.cols(), "{}", c.name);
+            assert_eq!(c.b().cols(), c.k, "{}", c.name);
+            assert_eq!(c.x().len(), c.coo.cols(), "{}", c.name);
+            assert!(c.k >= 1 && c.block >= 1, "{}", c.name);
+        }
+        // The duplicate case really stores duplicates.
+        let dup = cases.iter().find(|c| c.name == "dup-coo").unwrap();
+        assert!(dup.coo.nnz() > 4);
+    }
+
+    #[test]
+    fn random_corpus_is_seed_deterministic() {
+        let a = random_corpus(6, 9);
+        let b = random_corpus(6, 9);
+        assert_eq!(a.len(), 6);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.coo.nnz(), y.coo.nnz());
+            assert_eq!((x.k, x.block), (y.k, y.block));
+        }
+        let c = random_corpus(6, 10);
+        assert!(
+            a.iter().zip(&c).any(|(x, y)| {
+                x.coo.nnz() != y.coo.nnz() || x.coo.iter().zip(y.coo.iter()).any(|(p, q)| p != q)
+            }),
+            "different seeds should differ"
+        );
+    }
+}

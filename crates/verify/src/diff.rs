@@ -1,0 +1,449 @@
+//! The differential engine: every kernel combination × every corpus case,
+//! compared against the oracle, reported as an equivalence table.
+//!
+//! The engine is deliberately ignorant of the harness: a [`CaseRunner`]
+//! names its combinations ([`Combo`]) with plain-string backend/variant/
+//! schedule fields and runs one (combo, case) pair to a [`RunOutput`].
+//! The harness implements the trait over its Planner/Executor pair, which
+//! keeps the dependency arrow pointing `harness → verify` while still
+//! exercising the planner's routes rather than bypassing them.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use spmm_core::{DenseMatrix, SparseFormat};
+
+use crate::corpus::Case;
+use crate::oracle::{oracle_spmm, oracle_spmv};
+use crate::shrink::{shrink_case, write_repro};
+use crate::tolerance::{compare_spmm, compare_spmv, ErrorModel};
+
+/// The operation a combo runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyOp {
+    /// Sparse × dense matrix.
+    Spmm,
+    /// Sparse × vector.
+    Spmv,
+}
+
+impl VerifyOp {
+    /// Report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            VerifyOp::Spmm => "spmm",
+            VerifyOp::Spmv => "spmv",
+        }
+    }
+}
+
+/// One kernel combination the engine exercises. Backend, variant and
+/// schedule are the harness's own CLI spellings, carried as strings so
+/// this crate needs no dependency on the harness enums.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Combo {
+    /// Target sparse format.
+    pub format: SparseFormat,
+    /// Backend spelling (`serial`, `parallel`, `gpu-h100`, …).
+    pub backend: String,
+    /// Variant spelling (`normal`, `simd`, `tiled`, `cusparse`, …).
+    pub variant: String,
+    /// Schedule spelling (`static`, `dynamic,16`, `guided,4`).
+    pub schedule: String,
+    /// Operation.
+    pub op: VerifyOp,
+    /// Error model for this combination (reassociation-aware).
+    pub model: ErrorModel,
+}
+
+impl Combo {
+    /// Stable label used in the equivalence table and repro filenames.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}/{}/{}",
+            self.op.name(),
+            self.format,
+            self.backend,
+            self.variant,
+            self.schedule
+        )
+    }
+
+    /// Label without the format column (the table's row key: one row per
+    /// backend/variant/schedule, one column per format).
+    pub fn kernel_label(&self) -> String {
+        format!(
+            "{}/{}/{}/{}",
+            self.op.name(),
+            self.backend,
+            self.variant,
+            self.schedule
+        )
+    }
+}
+
+/// What a runner produced for one (combo, case) pair.
+#[derive(Debug, Clone)]
+pub enum RunOutput {
+    /// SpMM output `C` (rows × k).
+    Spmm(DenseMatrix<f64>),
+    /// SpMV output `y`.
+    Spmv(Vec<f64>),
+    /// The combination does not apply to this case (e.g. fixed-k with an
+    /// un-instantiated width) — recorded as a skip, not a failure.
+    Unsupported,
+}
+
+/// The engine's view of the system under test.
+pub trait CaseRunner {
+    /// Every combination to attempt for `case`. Combos whose parameters
+    /// fail validation for this case should simply be omitted.
+    fn combos(&self, case: &Case) -> Vec<Combo>;
+
+    /// Run one combination on one case. `Err` means the kernel path
+    /// failed outright (error or panic) — the engine records it as a
+    /// failure, same as a wrong answer.
+    fn run(&mut self, combo: &Combo, case: &Case) -> Result<RunOutput, String>;
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Default)]
+pub struct DiffConfig {
+    /// Minimize failing cases before reporting them.
+    pub shrink: bool,
+    /// Where to write MatrixMarket reproducers for (shrunk) failures.
+    pub repro_dir: Option<PathBuf>,
+}
+
+/// Size of a shrunk failing case.
+#[derive(Debug, Clone)]
+pub struct ShrunkInfo {
+    /// Rows of the minimized matrix.
+    pub rows: usize,
+    /// Columns of the minimized matrix.
+    pub cols: usize,
+    /// Stored entries of the minimized matrix.
+    pub nnz: usize,
+    /// Minimized SpMM width.
+    pub k: usize,
+    /// Reproducer path, when a repro dir was configured.
+    pub path: Option<PathBuf>,
+}
+
+/// One recorded failure.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// The failing combination's full label.
+    pub combo: String,
+    /// The corpus case it failed on.
+    pub case: String,
+    /// Human-readable mismatch or error description.
+    pub detail: String,
+    /// The minimized case, when shrinking was enabled.
+    pub shrunk: Option<ShrunkInfo>,
+}
+
+/// Aggregate pass/fail counts for one combination across the corpus.
+#[derive(Debug, Clone, Default)]
+pub struct ComboStat {
+    /// Cases that matched the oracle.
+    pub pass: usize,
+    /// Cases that mismatched, errored or panicked.
+    pub fail: usize,
+    /// Cases the combination reported as unsupported.
+    pub skip: usize,
+}
+
+/// The engine's result: the equivalence table plus failure details.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Per-combo-label statistics (sorted by label).
+    pub combos: BTreeMap<String, ComboStat>,
+    /// Every failure, in discovery order.
+    pub failures: Vec<Failure>,
+    /// Number of corpus cases that were run.
+    pub cases: usize,
+}
+
+impl DiffReport {
+    /// `true` when no combination failed on any case.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Total (combo, case) pairs that produced a comparable result.
+    pub fn runs(&self) -> usize {
+        self.combos.values().map(|s| s.pass + s.fail).sum()
+    }
+
+    /// Render the pass/fail equivalence table plus failure details.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .combos
+            .keys()
+            .map(|l| l.len())
+            .max()
+            .unwrap_or(12)
+            .max(12);
+        out.push_str(&format!(
+            "{:width$}  {:>5} {:>5} {:>5}  status\n",
+            "combination", "pass", "fail", "skip"
+        ));
+        out.push_str(&format!("{}\n", "-".repeat(width + 28)));
+        for (label, stat) in &self.combos {
+            let status = if stat.fail > 0 {
+                "FAIL"
+            } else if stat.pass > 0 {
+                "ok"
+            } else {
+                "skip"
+            };
+            out.push_str(&format!(
+                "{label:width$}  {:>5} {:>5} {:>5}  {status}\n",
+                stat.pass, stat.fail, stat.skip
+            ));
+        }
+        out.push_str(&format!(
+            "\n{} combinations x {} cases: {} runs, {} failures\n",
+            self.combos.len(),
+            self.cases,
+            self.runs(),
+            self.failures.len()
+        ));
+        for f in &self.failures {
+            out.push_str(&format!(
+                "\nFAIL {} on case `{}`\n  {}\n",
+                f.combo, f.case, f.detail
+            ));
+            if let Some(s) = &f.shrunk {
+                out.push_str(&format!(
+                    "  shrunk to {}x{}, {} nnz, k={}",
+                    s.rows, s.cols, s.nnz, s.k
+                ));
+                if let Some(p) = &s.path {
+                    out.push_str(&format!(" -> {}", p.display()));
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// Run one combo on one case and compare against the (precomputed)
+/// oracle. `Ok(None)` = pass, `Ok(Some(detail))` = mismatch, `Err` = skip.
+fn check_one(
+    runner: &mut dyn CaseRunner,
+    combo: &Combo,
+    case: &Case,
+    want_spmm: &DenseMatrix<f64>,
+    want_spmv: &[f64],
+    row_nnz: &[usize],
+) -> Result<Option<String>, ()> {
+    match runner.run(combo, case) {
+        Ok(RunOutput::Unsupported) => Err(()),
+        Err(e) => Ok(Some(e)),
+        Ok(RunOutput::Spmm(c)) => {
+            if (c.rows(), c.cols()) != (want_spmm.rows(), want_spmm.cols()) {
+                return Ok(Some(format!(
+                    "output shape {}x{} != oracle {}x{}",
+                    c.rows(),
+                    c.cols(),
+                    want_spmm.rows(),
+                    want_spmm.cols()
+                )));
+            }
+            Ok(compare_spmm(&c, want_spmm, row_nnz, &combo.model).map(|m| m.to_string()))
+        }
+        Ok(RunOutput::Spmv(y)) => {
+            if y.len() != want_spmv.len() {
+                return Ok(Some(format!(
+                    "output length {} != oracle {}",
+                    y.len(),
+                    want_spmv.len()
+                )));
+            }
+            Ok(compare_spmv(&y, want_spmv, row_nnz, &combo.model).map(|m| m.to_string()))
+        }
+    }
+}
+
+/// Does `combo` still fail on `case`? Used as the shrink predicate.
+fn still_fails(runner: &mut dyn CaseRunner, combo: &Combo, case: &Case) -> bool {
+    let want_spmm = oracle_spmm(&case.coo, &case.b(), case.k);
+    let want_spmv = oracle_spmv(&case.coo, &case.x());
+    let row_nnz = case.coo.row_counts();
+    matches!(
+        check_one(runner, combo, case, &want_spmm, &want_spmv, &row_nnz),
+        Ok(Some(_))
+    )
+}
+
+/// Run the full differential matrix: every combination the runner exposes
+/// for every case, compared entry-wise against the Kahan oracle under the
+/// combo's error model. Failing cases are optionally shrunk and written
+/// out as MatrixMarket reproducers.
+pub fn run_differential(
+    runner: &mut dyn CaseRunner,
+    cases: &[Case],
+    cfg: &DiffConfig,
+) -> DiffReport {
+    let mut report = DiffReport {
+        cases: cases.len(),
+        ..DiffReport::default()
+    };
+    for case in cases {
+        let want_spmm = oracle_spmm(&case.coo, &case.b(), case.k);
+        let want_spmv = oracle_spmv(&case.coo, &case.x());
+        let row_nnz = case.coo.row_counts();
+        for combo in runner.combos(case) {
+            let stat = report.combos.entry(combo.label()).or_default();
+            match check_one(runner, &combo, case, &want_spmm, &want_spmv, &row_nnz) {
+                Err(()) => stat.skip += 1,
+                Ok(None) => stat.pass += 1,
+                Ok(Some(detail)) => {
+                    stat.fail += 1;
+                    let shrunk = if cfg.shrink {
+                        let mut fails = |c: &Case| still_fails(runner, &combo, c);
+                        let small = shrink_case(case, &mut fails);
+                        let path = cfg
+                            .repro_dir
+                            .as_ref()
+                            .and_then(|dir| write_repro(dir, &small, &combo.label()).ok());
+                        Some(ShrunkInfo {
+                            rows: small.coo.rows(),
+                            cols: small.coo.cols(),
+                            nnz: small.coo.nnz(),
+                            k: small.k,
+                            path,
+                        })
+                    } else {
+                        None
+                    };
+                    report.failures.push(Failure {
+                        combo: combo.label(),
+                        case: case.name.clone(),
+                        detail,
+                        shrunk,
+                    });
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::adversarial_corpus;
+
+    /// A reference runner computing straight from COO — no harness — used
+    /// to test the engine itself.
+    struct CooRunner {
+        /// Flip the sign of output column j where j % 4 == 3 (the
+        /// "one broken SIMD lane" bug shape).
+        inject_lane_bug: bool,
+    }
+
+    impl CaseRunner for CooRunner {
+        fn combos(&self, _case: &Case) -> Vec<Combo> {
+            vec![
+                Combo {
+                    format: SparseFormat::Coo,
+                    backend: "serial".into(),
+                    variant: "normal".into(),
+                    schedule: "static".into(),
+                    op: VerifyOp::Spmm,
+                    model: ErrorModel::sequential(),
+                },
+                Combo {
+                    format: SparseFormat::Coo,
+                    backend: "serial".into(),
+                    variant: "simd".into(),
+                    schedule: "static".into(),
+                    op: VerifyOp::Spmm,
+                    model: ErrorModel::reassociating(4),
+                },
+                Combo {
+                    format: SparseFormat::Coo,
+                    backend: "serial".into(),
+                    variant: "normal".into(),
+                    schedule: "static".into(),
+                    op: VerifyOp::Spmv,
+                    model: ErrorModel::sequential(),
+                },
+            ]
+        }
+
+        fn run(&mut self, combo: &Combo, case: &Case) -> Result<RunOutput, String> {
+            match combo.op {
+                VerifyOp::Spmv => Ok(RunOutput::Spmv(case.coo.spmv_reference(&case.x()))),
+                VerifyOp::Spmm => {
+                    let mut c = case.coo.spmm_reference_k(&case.b(), case.k);
+                    if self.inject_lane_bug && combo.variant == "simd" {
+                        for i in 0..c.rows() {
+                            for j in (3..c.cols()).step_by(4) {
+                                c.set(i, j, -c.get(i, j));
+                            }
+                        }
+                    }
+                    Ok(RunOutput::Spmm(c))
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn healthy_runner_passes_the_corpus() {
+        let cases = adversarial_corpus();
+        let mut runner = CooRunner {
+            inject_lane_bug: false,
+        };
+        let report = run_differential(&mut runner, &cases, &DiffConfig::default());
+        assert!(report.passed(), "{}", report.render());
+        assert_eq!(report.combos.len(), 3);
+        assert!(report.runs() >= 3 * cases.len());
+        assert!(report.render().contains("ok"));
+    }
+
+    #[test]
+    fn lane_bug_is_caught_and_shrunk_small() {
+        let cases = adversarial_corpus();
+        let dir = std::env::temp_dir().join("spmm-verify-test-diff");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut runner = CooRunner {
+            inject_lane_bug: true,
+        };
+        let report = run_differential(
+            &mut runner,
+            &cases,
+            &DiffConfig {
+                shrink: true,
+                repro_dir: Some(dir.clone()),
+            },
+        );
+        assert!(!report.passed());
+        // Only the simd combo fails; normal and spmv stay green.
+        for f in &report.failures {
+            assert!(
+                f.combo.contains("/simd/"),
+                "unexpected failure: {}",
+                f.combo
+            );
+        }
+        // The acceptance bound: a reproducer of <= 8x8 with <= 12 nnz.
+        let smallest = report
+            .failures
+            .iter()
+            .filter_map(|f| f.shrunk.as_ref())
+            .min_by_key(|s| s.nnz)
+            .expect("shrunk info recorded");
+        assert!(smallest.rows <= 8 && smallest.cols <= 8, "{smallest:?}");
+        assert!(smallest.nnz <= 12, "{smallest:?}");
+        let path = smallest.path.as_ref().expect("repro written");
+        assert!(path.exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,46 @@
+//! # spmm-verify
+//!
+//! Differential correctness oracle for the benchmark suite.
+//!
+//! The paper's credibility rests on every format × variant combination
+//! computing the *same* SpMM result; this crate is the machine-checked
+//! version of that claim:
+//!
+//! * [`oracle`] — a golden reference: naive COO scalar SpMM/SpMV with
+//!   Kahan-compensated accumulation carried out entirely in `f64`.
+//! * [`tolerance`] — an error model that derives per-entry ULP and
+//!   relative tolerances from the row's dot-product length and whether
+//!   the variant under test reassociates its sums (SIMD lanes, parallel
+//!   reductions, GPU accumulators).
+//! * [`corpus`] — an adversarial corpus generator layered on
+//!   `spmm-matgen`: empty rows, one dense row, single-column matrices,
+//!   stored zeros, 1×N / N×1 shapes, degree skew, duplicate-coordinate
+//!   COO, NaN/Inf payloads and lane-width-boundary SELL shapes.
+//! * [`diff`] — the differential engine: runs every combination a
+//!   [`CaseRunner`] exposes over every case and reports a pass/fail
+//!   equivalence table.
+//! * [`shrink`] — minimizes any failing (matrix, K, variant) case by
+//!   row/column/nnz deletion and writes it as a MatrixMarket reproducer.
+//!
+//! The crate deliberately depends only on `spmm-core` and `spmm-matgen`:
+//! the harness (which owns the Planner/Executor pair) implements
+//! [`CaseRunner`] over them, so plans are *exercised*, not bypassed, and
+//! no dependency cycle forms.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod corpus;
+pub mod diff;
+pub mod oracle;
+pub mod shrink;
+pub mod tolerance;
+
+pub use corpus::{adversarial_corpus, random_corpus, Case};
+pub use diff::{
+    run_differential, CaseRunner, Combo, ComboStat, DiffConfig, DiffReport, Failure, RunOutput,
+    ShrunkInfo, VerifyOp,
+};
+pub use oracle::{oracle_spmm, oracle_spmv};
+pub use shrink::{shrink_case, write_repro};
+pub use tolerance::{compare_spmm, compare_spmv, ulp_distance, ErrorModel, Mismatch};

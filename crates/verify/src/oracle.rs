@@ -1,0 +1,156 @@
+//! The golden reference: COO scalar SpMM/SpMV with Kahan-compensated
+//! accumulation, computed entirely in `f64`.
+//!
+//! Every kernel in the suite — whatever its format, backend or variant —
+//! computes `C = A · B` as sums of `a_ij * b_jk` products. The oracle
+//! computes the same sums with two extra layers of protection: all
+//! arithmetic is widened to `f64` (so an `f32` kernel is checked against
+//! a strictly more precise result), and each accumulator carries a Kahan
+//! compensation term, bounding the oracle's own rounding error at
+//! O(ε) regardless of row length. That makes the oracle a fixed point the
+//! [`crate::tolerance`] model can measure every variant against.
+
+use spmm_core::{CooMatrix, DenseMatrix, Index, Scalar};
+
+/// One compensated accumulator: running sum plus compensation, in the
+/// Neumaier (improved Kahan–Babuška) form, which — unlike textbook
+/// Kahan — also survives terms larger than the running sum.
+#[derive(Clone, Copy, Default)]
+struct Kahan {
+    sum: f64,
+    comp: f64,
+}
+
+impl Kahan {
+    #[inline]
+    fn add(&mut self, v: f64) {
+        let t = self.sum + v;
+        if self.sum.abs() >= v.abs() {
+            self.comp += (self.sum - t) + v;
+        } else {
+            self.comp += (v - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    #[inline]
+    fn value(self) -> f64 {
+        self.sum + self.comp
+    }
+}
+
+/// Golden SpMM: `C = A · B` over the first `k` columns of `B`, with
+/// per-entry Kahan-compensated `f64` accumulation.
+///
+/// Duplicate COO coordinates are summed (in storage order), matching what
+/// every conversion and kernel in the suite does with them.
+pub fn oracle_spmm<T: Scalar, I: Index>(
+    a: &CooMatrix<T, I>,
+    b: &DenseMatrix<T>,
+    k: usize,
+) -> DenseMatrix<f64> {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "A is {}x{} but B has {} rows",
+        a.rows(),
+        a.cols(),
+        b.rows()
+    );
+    assert!(k <= b.cols(), "k={} exceeds B's {} columns", k, b.cols());
+    let mut acc = vec![Kahan::default(); a.rows() * k];
+    for (i, j, v) in a.iter() {
+        let v = v.to_f64();
+        let row = &mut acc[i * k..(i + 1) * k];
+        for (c, slot) in row.iter_mut().enumerate() {
+            slot.add(v * b.get(j, c).to_f64());
+        }
+    }
+    DenseMatrix::from_fn(a.rows(), k, |i, c| acc[i * k + c].value())
+}
+
+/// Golden SpMV: `y = A · x` with Kahan-compensated `f64` accumulation.
+pub fn oracle_spmv<T: Scalar, I: Index>(a: &CooMatrix<T, I>, x: &[T]) -> Vec<f64> {
+    assert_eq!(
+        a.cols(),
+        x.len(),
+        "A is {}x{} but x has {} entries",
+        a.rows(),
+        a.cols(),
+        x.len()
+    );
+    let mut acc = vec![Kahan::default(); a.rows()];
+    for (i, j, v) in a.iter() {
+        acc[i].add(v.to_f64() * x[j].to_f64());
+    }
+    acc.into_iter().map(|k| k.value()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_on_exact_values() {
+        // Dyadic values: the plain reference is exact, so the oracle must
+        // agree bitwise.
+        let coo = CooMatrix::<f64>::from_triplets(
+            3,
+            4,
+            &[(0, 0, 1.5), (0, 3, -2.25), (1, 1, 0.5), (2, 2, 4.0)],
+        )
+        .unwrap();
+        let b = DenseMatrix::from_fn(4, 3, |i, j| (i as f64 - j as f64) * 0.25);
+        let want = coo.spmm_reference_k(&b, 3);
+        let got = oracle_spmm(&coo, &b, 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(got.get(i, j), want.get(i, j));
+            }
+        }
+        let x = [0.5, -1.0, 2.0, 0.25];
+        assert_eq!(oracle_spmv(&coo, &x), coo.spmv_reference(&x));
+    }
+
+    #[test]
+    fn kahan_beats_naive_on_cancellation() {
+        // A row of [1e16, 1.0, -1e16] sums to exactly 1.0 under Kahan but
+        // to 0.0 under naive left-to-right accumulation.
+        let coo =
+            CooMatrix::<f64>::from_triplets(1, 3, &[(0, 0, 1e16), (0, 1, 1.0), (0, 2, -1e16)])
+                .unwrap();
+        let b = DenseMatrix::from_fn(3, 1, |_, _| 1.0);
+        assert_eq!(oracle_spmm(&coo, &b, 1).get(0, 0), 1.0);
+        assert_eq!(oracle_spmv(&coo, &[1.0, 1.0, 1.0]), vec![1.0]);
+    }
+
+    #[test]
+    fn sums_duplicate_coordinates() {
+        let mut coo = CooMatrix::<f64>::new(2, 2);
+        coo.push(0, 1, 2.0).unwrap();
+        coo.push(0, 1, 3.0).unwrap();
+        let b = DenseMatrix::from_fn(2, 2, |i, j| ((i + 1) * (j + 1)) as f64);
+        let got = oracle_spmm(&coo, &b, 2);
+        assert_eq!(got.get(0, 0), 10.0);
+        assert_eq!(got.get(0, 1), 20.0);
+        assert_eq!(oracle_spmv(&coo, &[1.0, 10.0]), vec![50.0, 0.0]);
+    }
+
+    #[test]
+    fn widens_f32_input() {
+        let coo = CooMatrix::<f32>::from_triplets(1, 1, &[(0, 0, 0.1)]).unwrap();
+        let b = DenseMatrix::from_fn(1, 1, |_, _| 0.1f32);
+        let got = oracle_spmm(&coo, &b, 1).get(0, 0);
+        // The product is carried out in f64 on the widened operands.
+        assert_eq!(got, (0.1f32 as f64) * (0.1f32 as f64));
+    }
+
+    #[test]
+    fn empty_matrix_yields_zeros() {
+        let coo = CooMatrix::<f64>::new(3, 2);
+        let b = DenseMatrix::from_fn(2, 4, |_, _| 1.0);
+        let got = oracle_spmm(&coo, &b, 4);
+        assert!((0..3).all(|i| (0..4).all(|j| got.get(i, j) == 0.0)));
+        assert_eq!(oracle_spmv(&coo, &[1.0, 1.0]), vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,287 @@
+//! Shrinking: minimize a failing (matrix, K, variant) case and write it
+//! out as a MatrixMarket reproducer.
+//!
+//! Greedy delta debugging over four axes, iterated to a fixed point:
+//! halve `k`, remove chunks of rows (largest chunks first), remove chunks
+//! of columns, then remove individual nonzeros. Every candidate is
+//! re-checked through the caller's `fails` predicate — which re-runs the
+//! actual kernel combination through the harness — so the shrunk case is
+//! guaranteed to still reproduce the failure. The predicate budget is
+//! capped so a pathological kernel cannot stall the verify run.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use spmm_core::CooMatrix;
+
+use crate::corpus::Case;
+
+/// Hard cap on predicate evaluations per shrink.
+const MAX_CHECKS: usize = 1200;
+
+struct Budget {
+    left: usize,
+}
+
+impl Budget {
+    fn check(&mut self, fails: &mut dyn FnMut(&Case) -> bool, cand: &Case) -> bool {
+        if self.left == 0 {
+            return false;
+        }
+        self.left -= 1;
+        fails(cand)
+    }
+}
+
+/// Rebuild a case around a filtered triplet list, preserving duplicate
+/// coordinates (the corpus uses them deliberately).
+fn rebuild(case: &Case, rows: usize, cols: usize, trips: &[(usize, usize, f64)]) -> Case {
+    let mut coo = CooMatrix::new(rows, cols);
+    for &(i, j, v) in trips {
+        coo.push(i, j, v).expect("shrunk triplet in bounds");
+    }
+    Case {
+        name: case.name.clone(),
+        coo,
+        k: case.k,
+        block: case.block,
+    }
+}
+
+/// Remove the rows whose `keep` flag is false, compacting row indices.
+fn drop_rows(case: &Case, keep: &[bool]) -> Case {
+    let mut remap = vec![usize::MAX; keep.len()];
+    let mut next = 0;
+    for (i, &k) in keep.iter().enumerate() {
+        if k {
+            remap[i] = next;
+            next += 1;
+        }
+    }
+    let trips: Vec<_> = case
+        .coo
+        .iter()
+        .filter(|(i, _, _)| keep[*i])
+        .map(|(i, j, v)| (remap[i], j, v))
+        .collect();
+    rebuild(case, next.max(1), case.coo.cols(), &trips)
+}
+
+/// Column twin of [`drop_rows`].
+fn drop_cols(case: &Case, keep: &[bool]) -> Case {
+    let mut remap = vec![usize::MAX; keep.len()];
+    let mut next = 0;
+    for (j, &k) in keep.iter().enumerate() {
+        if k {
+            remap[j] = next;
+            next += 1;
+        }
+    }
+    let trips: Vec<_> = case
+        .coo
+        .iter()
+        .filter(|(_, j, _)| keep[*j])
+        .map(|(i, j, v)| (i, remap[j], v))
+        .collect();
+    rebuild(case, case.coo.rows(), next.max(1), &trips)
+}
+
+/// Try removing chunks along one axis (`len` items), chunk sizes from
+/// `len/2` down to 1. Returns the first accepted smaller case, if any.
+fn shrink_axis(
+    case: &Case,
+    len: usize,
+    make: &dyn Fn(&Case, &[bool]) -> Case,
+    fails: &mut dyn FnMut(&Case) -> bool,
+    budget: &mut Budget,
+) -> Option<Case> {
+    if len <= 1 {
+        return None;
+    }
+    let mut chunk = len / 2;
+    while chunk >= 1 {
+        let mut start = 0;
+        while start < len {
+            let end = (start + chunk).min(len);
+            let mut keep = vec![true; len];
+            keep[start..end].iter_mut().for_each(|k| *k = false);
+            let cand = make(case, &keep);
+            // Only accept candidates that actually got smaller.
+            let smaller = cand.coo.rows() < case.coo.rows()
+                || cand.coo.cols() < case.coo.cols()
+                || cand.coo.nnz() < case.coo.nnz();
+            if smaller && budget.check(fails, &cand) {
+                return Some(cand);
+            }
+            start = end;
+        }
+        chunk /= 2;
+    }
+    None
+}
+
+/// Minimize `case` while `fails` keeps returning `true`.
+///
+/// The caller must ensure `fails(case)` holds on entry; the result is a
+/// (locally) minimal case for which it still holds.
+pub fn shrink_case(case: &Case, fails: &mut dyn FnMut(&Case) -> bool) -> Case {
+    let mut best = case.clone();
+    let mut budget = Budget { left: MAX_CHECKS };
+    loop {
+        let mut progressed = false;
+
+        // Axis 1: halve k (fixed-k combinations reject un-instantiated
+        // widths through the predicate, which simply keeps k).
+        while best.k > 1 {
+            let cand = Case {
+                k: best.k / 2,
+                ..best.clone()
+            };
+            if budget.check(fails, &cand) {
+                best = cand;
+                progressed = true;
+            } else {
+                break;
+            }
+        }
+
+        // Axis 2: rows.
+        while let Some(cand) = shrink_axis(&best, best.coo.rows(), &drop_rows, fails, &mut budget) {
+            best = cand;
+            progressed = true;
+        }
+
+        // Axis 3: columns.
+        while let Some(cand) = shrink_axis(&best, best.coo.cols(), &drop_cols, fails, &mut budget) {
+            best = cand;
+            progressed = true;
+        }
+
+        // Axis 4: individual nonzeros.
+        let mut e = 0;
+        while e < best.coo.nnz() {
+            let trips: Vec<_> = best
+                .coo
+                .iter()
+                .enumerate()
+                .filter(|(idx, _)| *idx != e)
+                .map(|(_, t)| t)
+                .collect();
+            let cand = rebuild(&best, best.coo.rows(), best.coo.cols(), &trips);
+            if budget.check(fails, &cand) {
+                best = cand;
+                progressed = true;
+            } else {
+                e += 1;
+            }
+        }
+
+        if !progressed || budget.left == 0 {
+            return best;
+        }
+    }
+}
+
+/// Write `case` as a MatrixMarket reproducer under `dir`, named after the
+/// case and the failing combination. The k/block parameters ride along as
+/// comment lines, so `spmm-bench -m <file>` plus the printed flags replay
+/// the failure.
+pub fn write_repro(dir: &Path, case: &Case, combo_label: &str) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let sanitize = |s: &str| -> String {
+        s.chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '.' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect()
+    };
+    let path = dir.join(format!(
+        "{}-{}.mtx",
+        sanitize(&case.name),
+        sanitize(combo_label)
+    ));
+
+    let mut body = Vec::new();
+    spmm_matgen::mm::write_matrix_market(&case.coo, &mut body)
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    let text = String::from_utf8(body).expect("mm output is ascii");
+    let (header, rest) = text.split_once('\n').unwrap_or((text.as_str(), ""));
+
+    let mut f = std::fs::File::create(&path)?;
+    writeln!(f, "{header}")?;
+    writeln!(f, "% spmm-verify shrunk reproducer")?;
+    writeln!(f, "% combo: {combo_label}")?;
+    writeln!(f, "% k: {}", case.k)?;
+    writeln!(f, "% block: {}", case.block)?;
+    write!(f, "{rest}")?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::adversarial_corpus;
+
+    /// A synthetic bug: "fails" whenever any stored value is negative.
+    fn fails_on_negative(c: &Case) -> bool {
+        c.coo.iter().any(|(_, _, v)| v < 0.0)
+    }
+
+    #[test]
+    fn shrinks_to_a_single_triplet() {
+        let mut trips = Vec::new();
+        for i in 0..20usize {
+            for j in 0..20usize {
+                if (i * 7 + j) % 5 == 0 {
+                    trips.push((i, j, 1.0));
+                }
+            }
+        }
+        trips.push((13, 17, -2.0));
+        let case = Case::from_triplets("neg", 20, 20, &trips, 16, 2);
+        assert!(fails_on_negative(&case));
+        let small = shrink_case(&case, &mut fails_on_negative);
+        assert!(fails_on_negative(&small));
+        assert_eq!(small.coo.nnz(), 1, "exactly the negative triplet survives");
+        assert_eq!(small.coo.rows(), 1);
+        assert_eq!(small.coo.cols(), 1);
+        assert_eq!(small.k, 1);
+    }
+
+    #[test]
+    fn shrinking_preserves_the_failure_on_every_corpus_case() {
+        // With an always-failing predicate the shrinker must terminate
+        // (budget) and return a case that still "fails".
+        for case in adversarial_corpus() {
+            let mut always = |_: &Case| true;
+            let small = shrink_case(&case, &mut always);
+            assert!(small.coo.rows() <= case.coo.rows());
+            assert!(small.coo.nnz() <= case.coo.nnz());
+        }
+    }
+
+    #[test]
+    fn repro_file_round_trips() {
+        let dir = std::env::temp_dir().join("spmm-verify-test-repro");
+        let case = Case::from_triplets("round/trip", 3, 4, &[(0, 1, 1.5), (2, 3, -2.0)], 8, 2);
+        let path = write_repro(&dir, &case, "spmm/csr/serial/simd").unwrap();
+        assert!(path
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .contains("round_trip"));
+        let back: CooMatrix<f64> = spmm_matgen::mm::read_matrix_market_file(&path).unwrap();
+        assert_eq!(back.rows(), 3);
+        assert_eq!(back.cols(), 4);
+        assert_eq!(back.nnz(), 2);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("% k: 8"));
+        assert!(text.contains("% combo: spmm/csr/serial/simd"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,281 @@
+//! The error model: how far a kernel may drift from the oracle.
+//!
+//! A dot product of length `n` accumulated naively has a worst-case
+//! relative error of `n·ε` and a statistical error of `O(√n·ε)`;
+//! reassociating the sum (SIMD lanes, parallel partial sums, GPU
+//! accumulators, unrolled registers) changes the *order* but keeps the
+//! same bound with a small constant for the final lane/partial-sum
+//! combine. The model therefore derives a per-entry budget from three
+//! inputs: the row's stored-entry count (the dot length), the scalar
+//! type's ε, and whether the variant under test reassociates.
+//!
+//! Entries are accepted on either of two criteria — a ULP distance (the
+//! natural unit near zero and across magnitudes) or a relative error with
+//! the suite's conventional `max(|want|, 1)` denominator — and non-finite
+//! oracle entries (the NaN/Inf corpus) require the kernel to produce a
+//! non-finite entry too.
+
+use spmm_core::{DenseMatrix, Scalar};
+
+/// What the variant under test does to accumulation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ErrorModel {
+    /// The variant reorders sums: SIMD lanes, parallel reductions,
+    /// unrolled accumulators or GPU atomics.
+    pub reassociates: bool,
+    /// Maximum concurrent partial sums the variant combines (SIMD lane
+    /// count, thread count, …). Only consulted when `reassociates`.
+    pub lanes: usize,
+}
+
+impl ErrorModel {
+    /// An order-preserving (scalar, sequential) variant.
+    pub fn sequential() -> Self {
+        ErrorModel {
+            reassociates: false,
+            lanes: 1,
+        }
+    }
+
+    /// A reassociating variant with up to `lanes` partial sums.
+    pub fn reassociating(lanes: usize) -> Self {
+        ErrorModel {
+            reassociates: true,
+            lanes: lanes.max(2),
+        }
+    }
+
+    /// Relative-error budget for one output entry whose dot product has
+    /// `dot_len` terms, for scalar type `T`.
+    pub fn rel_tolerance<T: Scalar>(&self, dot_len: usize) -> f64 {
+        let eps = if T::BYTES == 4 {
+            f32::EPSILON as f64
+        } else {
+            f64::EPSILON
+        };
+        let n = dot_len.max(1) as f64;
+        if self.reassociates {
+            // Worst-case linear growth plus the lane-combine tail.
+            eps * (16.0 + 4.0 * (n + self.lanes as f64))
+        } else {
+            // Sequential sums against a compensated oracle: statistical
+            // √n growth with headroom for the FMA-vs-mul+add difference.
+            eps * (8.0 + 4.0 * n.sqrt())
+        }
+    }
+
+    /// ULP budget companion to [`ErrorModel::rel_tolerance`] (in ULPs of
+    /// the oracle value, for `f64` outputs).
+    pub fn ulp_budget(&self, dot_len: usize) -> u64 {
+        let n = dot_len.max(1) as u64;
+        if self.reassociates {
+            16 + 4 * (n + self.lanes as u64)
+        } else {
+            8 + 4 * n.isqrt()
+        }
+    }
+}
+
+/// Distance in units-in-the-last-place between two finite `f64`s.
+///
+/// Uses the standard monotonic mapping of IEEE-754 bit patterns onto a
+/// signed integer line, so the distance is well-defined across zero and
+/// between the signs.
+pub fn ulp_distance(a: f64, b: f64) -> u64 {
+    fn key(x: f64) -> i64 {
+        let bits = x.to_bits() as i64;
+        if bits >= 0 {
+            bits
+        } else {
+            i64::MIN - bits
+        }
+    }
+    key(a).abs_diff(key(b))
+}
+
+/// One entry that exceeded its budget.
+#[derive(Debug, Clone)]
+pub struct Mismatch {
+    /// Output row of the offending entry.
+    pub row: usize,
+    /// Output column (0 for SpMV).
+    pub col: usize,
+    /// What the kernel produced.
+    pub got: f64,
+    /// What the oracle produced.
+    pub want: f64,
+    /// Relative error (suite convention: denominator `max(|want|, 1)`).
+    pub rel: f64,
+    /// ULP distance (`u64::MAX` when either side is non-finite).
+    pub ulp: u64,
+}
+
+impl std::fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "C[{},{}] = {:e}, oracle {:e} (rel {:.2e}, {} ulp)",
+            self.row, self.col, self.got, self.want, self.rel, self.ulp
+        )
+    }
+}
+
+fn check_entry(
+    row: usize,
+    col: usize,
+    got: f64,
+    want: f64,
+    dot_len: usize,
+    model: &ErrorModel,
+) -> Option<Mismatch> {
+    if !want.is_finite() {
+        // NaN/Inf corpus: the kernel must also land outside the finite
+        // range (the exact non-finite kind is order-dependent — an
+        // Inf + -Inf pair turns into NaN at a reassociation-dependent
+        // point — so equivalence is "both diverged").
+        return if got.is_finite() {
+            Some(Mismatch {
+                row,
+                col,
+                got,
+                want,
+                rel: f64::INFINITY,
+                ulp: u64::MAX,
+            })
+        } else {
+            None
+        };
+    }
+    if !got.is_finite() {
+        return Some(Mismatch {
+            row,
+            col,
+            got,
+            want,
+            rel: f64::INFINITY,
+            ulp: u64::MAX,
+        });
+    }
+    let ulp = ulp_distance(got, want);
+    if ulp <= model.ulp_budget(dot_len) {
+        return None;
+    }
+    let rel = (got - want).abs() / want.abs().max(1.0);
+    if rel <= model.rel_tolerance::<f64>(dot_len) {
+        return None;
+    }
+    Some(Mismatch {
+        row,
+        col,
+        got,
+        want,
+        rel,
+        ulp,
+    })
+}
+
+/// Compare a kernel's SpMM output against the oracle. `row_nnz[i]` is the
+/// stored-entry count of row `i` (the dot length of that output row).
+/// Returns the worst mismatch by relative error, if any entry exceeds its
+/// budget.
+pub fn compare_spmm(
+    got: &DenseMatrix<f64>,
+    want: &DenseMatrix<f64>,
+    row_nnz: &[usize],
+    model: &ErrorModel,
+) -> Option<Mismatch> {
+    assert_eq!((got.rows(), got.cols()), (want.rows(), want.cols()));
+    let mut worst: Option<Mismatch> = None;
+    for i in 0..want.rows() {
+        let n = row_nnz.get(i).copied().unwrap_or(0);
+        for j in 0..want.cols() {
+            if let Some(m) = check_entry(i, j, got.get(i, j), want.get(i, j), n, model) {
+                if worst.as_ref().is_none_or(|w| m.rel > w.rel) {
+                    worst = Some(m);
+                }
+            }
+        }
+    }
+    worst
+}
+
+/// SpMV twin of [`compare_spmm`].
+pub fn compare_spmv(
+    got: &[f64],
+    want: &[f64],
+    row_nnz: &[usize],
+    model: &ErrorModel,
+) -> Option<Mismatch> {
+    assert_eq!(got.len(), want.len());
+    let mut worst: Option<Mismatch> = None;
+    for i in 0..want.len() {
+        let n = row_nnz.get(i).copied().unwrap_or(0);
+        if let Some(m) = check_entry(i, 0, got[i], want[i], n, model) {
+            if worst.as_ref().is_none_or(|w| m.rel > w.rel) {
+                worst = Some(m);
+            }
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ulp_distance_basics() {
+        assert_eq!(ulp_distance(1.0, 1.0), 0);
+        assert_eq!(ulp_distance(1.0, f64::from_bits(1.0f64.to_bits() + 1)), 1);
+        assert_eq!(ulp_distance(0.0, -0.0), 0);
+        // Crossing zero is well-defined and small for tiny values.
+        assert_eq!(ulp_distance(f64::MIN_POSITIVE, -f64::MIN_POSITIVE) % 2, 0);
+        assert!(ulp_distance(1.0, 2.0) > 1_000_000);
+    }
+
+    #[test]
+    fn reassociating_budget_is_larger() {
+        let seq = ErrorModel::sequential();
+        let par = ErrorModel::reassociating(8);
+        for n in [1usize, 10, 1000] {
+            assert!(par.rel_tolerance::<f64>(n) > seq.rel_tolerance::<f64>(n));
+            assert!(par.ulp_budget(n) > seq.ulp_budget(n));
+        }
+        // And both grow with the dot length.
+        assert!(seq.rel_tolerance::<f64>(10_000) > seq.rel_tolerance::<f64>(10));
+        assert!(par.rel_tolerance::<f64>(10_000) > par.rel_tolerance::<f64>(10));
+    }
+
+    #[test]
+    fn f32_budget_is_coarser() {
+        let m = ErrorModel::sequential();
+        assert!(m.rel_tolerance::<f32>(100) > 1e6 * m.rel_tolerance::<f64>(100));
+    }
+
+    #[test]
+    fn compare_accepts_tiny_drift_and_rejects_sign_flips() {
+        let want = DenseMatrix::from_fn(2, 2, |i, j| (i + j) as f64 + 0.5);
+        let mut got = want.clone();
+        let m = ErrorModel::sequential();
+        assert!(compare_spmm(&got, &want, &[3, 3], &m).is_none());
+
+        // One-ulp drift passes.
+        got.set(0, 0, f64::from_bits(want.get(0, 0).to_bits() + 1));
+        assert!(compare_spmm(&got, &want, &[3, 3], &m).is_none());
+
+        // A flipped sign does not.
+        got.set(1, 1, -want.get(1, 1));
+        let mm = compare_spmm(&got, &want, &[3, 3], &m).unwrap();
+        assert_eq!((mm.row, mm.col), (1, 1));
+    }
+
+    #[test]
+    fn non_finite_oracle_requires_non_finite_kernel() {
+        let want = vec![f64::NAN, 1.0];
+        let m = ErrorModel::sequential();
+        assert!(compare_spmv(&[f64::INFINITY, 1.0], &want, &[1, 1], &m).is_none());
+        assert!(compare_spmv(&[0.0, 1.0], &want, &[1, 1], &m).is_some());
+        // Kernel NaN against a finite oracle fails.
+        assert!(compare_spmv(&[f64::NAN, 1.0], &[0.0, 1.0], &[1, 1], &m).is_some());
+    }
+}
